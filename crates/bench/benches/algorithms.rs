@@ -1,0 +1,182 @@
+//! Microbenchmarks of the scheduling algorithms themselves: scaling of
+//! Energy-OPT / Quality-OPT / QE-OPT / Online-QE with the number of ready
+//! jobs, and the cost of one DES invocation — the quantities that bound
+//! the scheduler's own overhead (the paper's §III complexity analysis:
+//! O(n³)/O(n⁴) offline, O(n²) per Online-QE invocation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qes_core::job::{Job, JobSet};
+use qes_core::power::PolynomialPower;
+use qes_core::time::{SimDuration, SimTime};
+use qes_singlecore::online_qe::ReadyJob;
+use qes_singlecore::{energy_opt, online_qe, qe_opt, quality_opt};
+
+const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
+
+/// A deterministic agreeable job set of size `n` with staggered releases.
+fn jobset(n: usize) -> JobSet {
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            let rel = SimTime::from_millis(7 * i as u64);
+            let demand = 130.0 + ((i * 97) % 870) as f64;
+            Job::new(
+                i as u32,
+                rel,
+                rel + qes_core::SimDuration::from_millis(150),
+                demand,
+            )
+            .unwrap()
+        })
+        .collect();
+    JobSet::new(jobs).unwrap()
+}
+
+fn bench_energy_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("energy_opt_scaling");
+    for n in [4usize, 16, 64] {
+        let jobs = jobset(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| energy_opt::energy_opt(std::hint::black_box(jobs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quality_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quality_opt_scaling");
+    for n in [4usize, 16, 64] {
+        let jobs = jobset(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| quality_opt::quality_opt(std::hint::black_box(jobs), 1.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_qe_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qe_opt_scaling");
+    for n in [4usize, 16, 64] {
+        let jobs = jobset(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| qe_opt::qe_opt(std::hint::black_box(jobs), &MODEL, 20.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_online_qe(c: &mut Criterion) {
+    // Online invocations see common-release ready sets: the O(n²) case.
+    let mut g = c.benchmark_group("online_qe_invocation");
+    for n in [4usize, 16, 64] {
+        let now = SimTime::from_millis(500);
+        let ready: Vec<ReadyJob> = (0..n)
+            .map(|i| {
+                let demand = 130.0 + ((i * 131) % 870) as f64;
+                ReadyJob {
+                    job: Job::new(
+                        i as u32,
+                        now,
+                        now + qes_core::SimDuration::from_millis(150),
+                        demand,
+                    )
+                    .unwrap(),
+                    processed: if i == 0 { 40.0 } else { 0.0 },
+                }
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ready, |b, ready| {
+            b.iter(|| online_qe::online_qe(now, std::hint::black_box(ready), &MODEL, 20.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_des_invocation(c: &mut Criterion) {
+    // Cost of one full DES decision (all four steps) as the per-core
+    // ready-set size grows — the scheduler's own overhead (§IV-E's
+    // motivation for grouped scheduling).
+    use qes_multicore::{CoreView, DesPolicy, SchedulingPolicy, SystemView};
+    let mut g = c.benchmark_group("des_invocation");
+    for per_core in [2usize, 8, 24] {
+        let m = 16;
+        let now = SimTime::from_millis(1000);
+        let cores: Vec<CoreView> = (0..m)
+            .map(|ci| CoreView {
+                jobs: (0..per_core)
+                    .map(|i| {
+                        let id = (ci * per_core + i) as u32;
+                        let demand = 130.0 + ((id as usize * 73) % 870) as f64;
+                        ReadyJob {
+                            job: Job::new(
+                                id,
+                                now,
+                                now + qes_core::SimDuration::from_millis(150),
+                                demand,
+                            )
+                            .unwrap(),
+                            processed: 0.0,
+                        }
+                    })
+                    .collect(),
+                busy: true,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(per_core), &cores, |b, cores| {
+            let mut policy = DesPolicy::new();
+            b.iter(|| {
+                let view = SystemView {
+                    now,
+                    queue: &[],
+                    cores: std::hint::black_box(cores),
+                    budget: 320.0,
+                    model: &MODEL,
+                };
+                policy.on_trigger(&view)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    // End-to-end simulated-jobs-per-wall-second of the whole stack.
+    use qes_core::quality::ExpQuality;
+    use qes_multicore::DesPolicy;
+    use qes_sim::engine::{SimConfig, Simulator};
+    use qes_workload::WebSearchWorkload;
+    let jobs = WebSearchWorkload::new(160.0)
+        .with_horizon(SimTime::from_secs(5))
+        .generate(1)
+        .unwrap();
+    let quality = ExpQuality::PAPER_DEFAULT;
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(jobs.len() as u64));
+    g.bench_function("des_5s_at_160rps", |b| {
+        b.iter(|| {
+            let cfg = SimConfig {
+                num_cores: 16,
+                budget: 320.0,
+                model: &MODEL,
+                quality: &quality,
+                end: SimTime::from_secs(5),
+                record_trace: false,
+                overhead: SimDuration::ZERO,
+            };
+            Simulator::run(&cfg, &mut DesPolicy::new(), std::hint::black_box(&jobs))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    algorithms,
+    bench_energy_opt,
+    bench_quality_opt,
+    bench_qe_opt,
+    bench_online_qe,
+    bench_des_invocation,
+    bench_engine_throughput,
+);
+criterion_main!(algorithms);

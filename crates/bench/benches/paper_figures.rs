@@ -1,0 +1,248 @@
+//! One Criterion bench per table/figure of the paper's evaluation (§V).
+//!
+//! Each bench regenerates the data behind its figure at a reduced horizon
+//! (benchmarks measure the cost of the regeneration pipeline; the
+//! full-scale numbers come from `cargo run --release -p qes-experiments
+//! --bin figures -- all --full`). The measured quantities are printed once
+//! per bench so the run doubles as a smoke regeneration of every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qes_cluster::meter::PowerMeter;
+use qes_cluster::replay::{exact_energy, measured_energy};
+use qes_cluster::spec::ClusterSpec;
+use qes_core::quality::{ExpQuality, QualityFunction};
+use qes_core::time::SimTime;
+use qes_experiments::{run_policy, run_policy_traced, ExperimentConfig, PolicyKind};
+use qes_multicore::water_filling;
+
+/// Short-horizon config used inside benches.
+fn bench_cfg(rate: f64) -> ExperimentConfig {
+    ExperimentConfig::paper_default()
+        .with_arrival_rate(rate)
+        .with_sim_seconds(5.0)
+}
+
+fn fig01_quality_function(c: &mut Criterion) {
+    let q = ExpQuality::PAPER_DEFAULT;
+    c.bench_function("fig01_quality_function", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..=1000 {
+                acc += q.value(std::hint::black_box(i as f64));
+            }
+            acc
+        })
+    });
+}
+
+fn fig02_water_filling(c: &mut Criterion) {
+    let requests: Vec<f64> = (0..16).map(|i| 5.0 + 3.0 * i as f64).collect();
+    c.bench_function("fig02_water_filling", |b| {
+        b.iter(|| water_filling(std::hint::black_box(&requests), 320.0))
+    });
+}
+
+fn fig03_architectures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_architectures");
+    g.sample_size(10);
+    for kind in [PolicyKind::Des, PolicyKind::DesSDvfs, PolicyKind::DesNoDvfs] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| run_policy(&bench_cfg(120.0), k, 1))
+        });
+    }
+    g.finish();
+}
+
+fn fig04_partial_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_partial_eval");
+    g.sample_size(10);
+    for frac in [0.0, 0.5, 1.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{frac}")),
+            &frac,
+            |b, &f| {
+                let cfg = bench_cfg(160.0).with_partial_fraction(f);
+                b.iter(|| run_policy(&cfg, PolicyKind::Des, 1))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig05_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_baselines");
+    g.sample_size(10);
+    for kind in [
+        PolicyKind::Des,
+        PolicyKind::Fcfs,
+        PolicyKind::Ljf,
+        PolicyKind::Sjf,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| run_policy(&bench_cfg(160.0), k, 1))
+        });
+    }
+    g.finish();
+}
+
+fn fig06_baselines_wf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_baselines_wf");
+    g.sample_size(10);
+    for kind in [PolicyKind::FcfsWf, PolicyKind::LjfWf, PolicyKind::SjfWf] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| run_policy(&bench_cfg(160.0), k, 1))
+        });
+    }
+    g.finish();
+}
+
+fn fig07_quality_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_quality_sensitivity");
+    g.sample_size(10);
+    for cc in [0.0005, 0.003, 0.009] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("c={cc}")),
+            &cc,
+            |b, &cc| {
+                let cfg = bench_cfg(160.0).with_quality_c(cc);
+                b.iter(|| run_policy(&cfg, PolicyKind::Des, 1))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig08_power_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_power_budget");
+    g.sample_size(10);
+    for h in [80.0, 320.0, 640.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("H={h}")),
+            &h,
+            |b, &h| {
+                let cfg = bench_cfg(200.0).with_budget(h);
+                b.iter(|| run_policy(&cfg, PolicyKind::Des, 1))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig09_core_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_core_count");
+    g.sample_size(10);
+    for m in [2usize, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("m={m}")),
+            &m,
+            |b, &m| {
+                let cfg = bench_cfg(90.0).with_cores(m);
+                b.iter(|| run_policy(&cfg, PolicyKind::Des, 1))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig10_discrete_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_discrete_speed");
+    g.sample_size(10);
+    for kind in [PolicyKind::Des, PolicyKind::DesDiscrete] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| run_policy(&bench_cfg(160.0), k, 1))
+        });
+    }
+    g.finish();
+}
+
+fn fig11_validation(c: &mut Criterion) {
+    // Bench the replay + metering pipeline over a fixed recorded trace.
+    let cluster = ClusterSpec::paper_validation();
+    let cfg = ExperimentConfig {
+        num_cores: cluster.total_cores(),
+        budget: 152.0,
+        power: qes_core::PolynomialPower {
+            b: 0.0,
+            ..qes_core::PolynomialPower::PAPER_REAL
+        },
+        ladder: Some(qes_core::DiscreteSpeedSet::opteron_2380()),
+        ..ExperimentConfig::paper_default()
+    }
+    .with_arrival_rate(80.0)
+    .with_sim_seconds(5.0);
+    let (_, trace) = run_policy_traced(&cfg, PolicyKind::DesDiscrete, 1);
+    let horizon = SimTime::from_secs(5);
+    let meter = PowerMeter::default();
+    let mut g = c.benchmark_group("fig11_validation");
+    g.bench_function("exact_energy", |b| {
+        b.iter(|| exact_energy(std::hint::black_box(&trace), &cluster, horizon))
+    });
+    g.bench_function("measured_energy", |b| {
+        b.iter(|| measured_energy(std::hint::black_box(&trace), &cluster, horizon, &meter))
+    });
+    g.finish();
+}
+
+fn ablation_variants(c: &mut Criterion) {
+    // The extension ablation: cost of each DES variant at a fixed load.
+    use qes_core::quality::ExpQuality;
+    use qes_core::SimDuration;
+    use qes_multicore::des::{DesPolicy, JobSharing, PowerSharing};
+    use qes_sim::engine::{SimConfig, Simulator};
+    let jobs = bench_cfg(160.0).workload().generate(1).unwrap();
+    let quality = ExpQuality::PAPER_DEFAULT;
+    let mut g = c.benchmark_group("ablation_variants");
+    g.sample_size(10);
+    type Variant = (&'static str, Box<dyn Fn() -> DesPolicy>);
+    let variants: Vec<Variant> = vec![
+        ("full", Box::new(DesPolicy::new)),
+        (
+            "restart-rr",
+            Box::new(|| DesPolicy::new().with_job_sharing(JobSharing::RestartRr)),
+        ),
+        (
+            "static-power",
+            Box::new(|| DesPolicy::new().with_power_sharing(PowerSharing::StaticEqual)),
+        ),
+        (
+            "efficient",
+            Box::new(|| DesPolicy::new().with_mode(qes_singlecore::OnlineMode::Efficient)),
+        ),
+    ];
+    for (label, make) in variants {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    num_cores: 16,
+                    budget: 320.0,
+                    model: &qes_core::PolynomialPower::PAPER_SIM,
+                    quality: &quality,
+                    end: SimTime::from_secs(5),
+                    record_trace: false,
+                    overhead: SimDuration::ZERO,
+                };
+                let mut policy = make();
+                Simulator::run(&cfg, &mut policy, std::hint::black_box(&jobs))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig01_quality_function,
+    fig02_water_filling,
+    fig03_architectures,
+    fig04_partial_eval,
+    fig05_baselines,
+    fig06_baselines_wf,
+    fig07_quality_sensitivity,
+    fig08_power_budget,
+    fig09_core_count,
+    fig10_discrete_speed,
+    fig11_validation,
+    ablation_variants,
+);
+criterion_main!(figures);

@@ -1,0 +1,267 @@
+//! Per-node power accounting and meter failure modes.
+//!
+//! PowerPack instruments each *node* (its PDU line) separately; the
+//! cluster-level energy is the sum of node meters. That structure matters
+//! for two reasons the flat model hides:
+//!
+//! * **breakdowns** — per-node energy shows whether load (and heat) is
+//!   spread across chassis, and how much of each node's draw is static;
+//! * **failure modes** — a node meter that drops samples silently
+//!   under-counts total energy. [`NodeMeterArray`] models per-node meters
+//!   with an optional dropout probability so validation code can check
+//!   how robust a comparison is to instrumentation faults.
+
+use qes_core::time::SimTime;
+use qes_sim::trace::SimTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::meter::PowerMeter;
+use crate::spec::ClusterSpec;
+
+/// Which node hosts a core under the spec's contiguous layout.
+pub fn node_of_core(spec: &ClusterSpec, core: usize) -> usize {
+    core / spec.cores_per_node
+}
+
+/// Energy breakdown of one node over a replayed trace.
+#[derive(Clone, Debug, Default)]
+pub struct NodeEnergy {
+    /// Node index.
+    pub node: usize,
+    /// Energy attributable to executing slices above idle (J).
+    pub active_joules: f64,
+    /// Idle/static floor energy (J).
+    pub idle_joules: f64,
+    /// Busy core-seconds on this node.
+    pub busy_core_secs: f64,
+}
+
+impl NodeEnergy {
+    /// Total node energy.
+    pub fn total(&self) -> f64 {
+        self.active_joules + self.idle_joules
+    }
+}
+
+/// Exact per-node energy breakdown of a trace over `[0, end)`.
+pub fn node_breakdown(trace: &SimTrace, spec: &ClusterSpec, end: SimTime) -> Vec<NodeEnergy> {
+    let mut nodes: Vec<NodeEnergy> = (0..spec.nodes)
+        .map(|node| NodeEnergy {
+            node,
+            ..NodeEnergy::default()
+        })
+        .collect();
+    // Idle floor: every powered core draws the idle power all the time;
+    // executing a slice *adds* (table − idle) on top.
+    let horizon = end.as_secs_f64();
+    for n in &mut nodes {
+        n.idle_joules = spec.idle_power * spec.cores_per_node as f64 * horizon;
+    }
+    for s in trace.slices() {
+        if s.start >= end {
+            continue;
+        }
+        let node = node_of_core(spec, s.core);
+        if node >= nodes.len() {
+            continue;
+        }
+        let secs = s.end.min(end).saturating_since(s.start).as_secs_f64();
+        let extra = (spec.core_power(s.speed) - spec.idle_power).max(0.0);
+        nodes[node].active_joules += extra * secs;
+        nodes[node].busy_core_secs += secs;
+    }
+    nodes
+}
+
+/// An array of per-node meters, each sampling its node's power, with an
+/// optional per-sample dropout probability (a dropped sample contributes
+/// zero — the silent under-count real deployments suffer).
+#[derive(Clone, Debug)]
+pub struct NodeMeterArray {
+    /// The per-node meter template (period, noise, overhead; the seed is
+    /// offset per node).
+    pub meter: PowerMeter,
+    /// Probability each sample is silently lost.
+    pub dropout: f64,
+}
+
+impl NodeMeterArray {
+    /// All nodes healthy.
+    pub fn healthy(meter: PowerMeter) -> Self {
+        NodeMeterArray {
+            meter,
+            dropout: 0.0,
+        }
+    }
+
+    /// Measure the trace per node; returns per-node energies.
+    pub fn measure(&self, trace: &SimTrace, spec: &ClusterSpec, end: SimTime) -> Vec<f64> {
+        // Index slices per node.
+        let mut per_node: Vec<Vec<(SimTime, SimTime, f64)>> = vec![Vec::new(); spec.nodes];
+        for s in trace.slices() {
+            let node = node_of_core(spec, s.core);
+            if node < per_node.len() {
+                per_node[node].push((s.start, s.end, s.speed));
+            }
+        }
+        for v in &mut per_node {
+            v.sort_by_key(|&(a, _, _)| a);
+        }
+        (0..spec.nodes)
+            .map(|node| {
+                let meter = PowerMeter {
+                    seed: self.meter.seed.wrapping_add(node as u64 + 1),
+                    ..self.meter.clone()
+                };
+                let mut drop_rng = StdRng::seed_from_u64(
+                    self.meter.seed.wrapping_mul(31).wrapping_add(node as u64),
+                );
+                let slices = &per_node[node];
+                meter.measure(end, |t| {
+                    if self.dropout > 0.0 && drop_rng.gen::<f64>() < self.dropout {
+                        return 0.0; // sample lost
+                    }
+                    // Count busy cores and their draw; idle cores draw the
+                    // static floor.
+                    let busy: Vec<f64> = slices
+                        .iter()
+                        .filter(|&&(a, b, _)| a <= t && t < b)
+                        .map(|&(_, _, sp)| spec.core_power(sp))
+                        .collect();
+                    let idle_cores = spec.cores_per_node.saturating_sub(busy.len());
+                    busy.iter().sum::<f64>() + idle_cores as f64 * spec.idle_power
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qes_core::job::JobId;
+    use qes_sim::trace::TraceSlice;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec {
+            nodes: 2,
+            cores_per_node: 2,
+            ..ClusterSpec::paper_validation()
+        }
+    }
+
+    fn trace() -> SimTrace {
+        let mut t = SimTrace::default();
+        // Node 0 (cores 0–1): one busy second at 2.5 GHz.
+        t.push(TraceSlice {
+            core: 0,
+            job: JobId(0),
+            start: ms(0),
+            end: ms(1000),
+            speed: 2.5,
+        });
+        // Node 1 (cores 2–3): half a second at 0.8 GHz.
+        t.push(TraceSlice {
+            core: 2,
+            job: JobId(1),
+            start: ms(0),
+            end: ms(500),
+            speed: 0.8,
+        });
+        t
+    }
+
+    #[test]
+    fn core_to_node_layout() {
+        let s = spec();
+        assert_eq!(node_of_core(&s, 0), 0);
+        assert_eq!(node_of_core(&s, 1), 0);
+        assert_eq!(node_of_core(&s, 2), 1);
+        assert_eq!(node_of_core(&s, 3), 1);
+    }
+
+    #[test]
+    fn breakdown_accounts_active_and_idle() {
+        let s = spec();
+        let nodes = node_breakdown(&trace(), &s, SimTime::from_secs(1));
+        // Node 0: idle floor 2 cores × 9.2562 + (22.69 − 9.2562) × 1 s.
+        let idle = 2.0 * 9.2562;
+        assert!((nodes[0].idle_joules - idle).abs() < 1e-9);
+        assert!((nodes[0].active_joules - (22.69 - 9.2562)).abs() < 1e-9);
+        assert!((nodes[0].busy_core_secs - 1.0).abs() < 1e-12);
+        // Node 1: (11.06 − 9.2562) × 0.5 s of active draw.
+        assert!((nodes[1].active_joules - 0.5 * (11.06 - 9.2562)).abs() < 1e-9);
+        // Totals are positive and node 0 > node 1.
+        assert!(nodes[0].total() > nodes[1].total());
+    }
+
+    #[test]
+    fn breakdown_matches_flat_exact_energy() {
+        use crate::replay::exact_energy;
+        let s = spec();
+        let end = SimTime::from_secs(1);
+        let flat = exact_energy(&trace(), &s, end);
+        let sum: f64 = node_breakdown(&trace(), &s, end)
+            .iter()
+            .map(|n| n.total())
+            .sum();
+        assert!((flat - sum).abs() < 1e-9, "{flat} vs {sum}");
+    }
+
+    #[test]
+    fn healthy_node_meters_sum_close_to_exact() {
+        use crate::replay::exact_energy;
+        let s = spec();
+        let end = SimTime::from_secs(2);
+        let meters = NodeMeterArray::healthy(PowerMeter {
+            noise_std: 0.0,
+            overhead: 0.0,
+            sample_period: qes_core::SimDuration::from_millis(10),
+            seed: 0,
+        });
+        let measured: f64 = meters.measure(&trace(), &s, end).iter().sum();
+        let exact = exact_energy(&trace(), &s, end);
+        assert!(
+            (measured - exact).abs() / exact < 0.01,
+            "measured {measured} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn dropout_undercounts() {
+        let s = spec();
+        let end = SimTime::from_secs(5);
+        let healthy = NodeMeterArray::healthy(PowerMeter {
+            noise_std: 0.0,
+            overhead: 0.0,
+            ..PowerMeter::default()
+        });
+        let flaky = NodeMeterArray {
+            dropout: 0.3,
+            ..healthy.clone()
+        };
+        let e_healthy: f64 = healthy.measure(&trace(), &s, end).iter().sum();
+        let e_flaky: f64 = flaky.measure(&trace(), &s, end).iter().sum();
+        assert!(
+            e_flaky < 0.85 * e_healthy,
+            "30% dropout should undercount: {e_flaky} vs {e_healthy}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_node() {
+        let s = spec();
+        let end = SimTime::from_secs(1);
+        let m = NodeMeterArray::healthy(PowerMeter::default());
+        let a = m.measure(&trace(), &s, end);
+        let b = m.measure(&trace(), &s, end);
+        assert_eq!(a, b);
+        // Different nodes see different noise streams.
+        assert_ne!(a[0], a[1]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Regression fitting of the power model (paper §V-G).
+//!
+//! The paper fits `P = a·s^β + b` to measured ⟨speed, power⟩ pairs. The
+//! model is linear in `(a, b)` once `β` is fixed, so we solve the 2×2
+//! normal equations per candidate `β` and golden-section search the
+//! one-dimensional residual over `β`.
+
+use qes_core::power::PolynomialPower;
+
+/// Outcome of a power-model fit.
+#[derive(Clone, Copy, Debug)]
+pub struct FitReport {
+    /// The fitted model.
+    pub model: PolynomialPower,
+    /// Sum of squared residuals at the optimum.
+    pub sse: f64,
+}
+
+/// Sum of squared residuals and the best `(a, b)` for a fixed `β`.
+fn fit_linear(pairs: &[(f64, f64)], beta: f64) -> (f64, f64, f64) {
+    // Least squares for p ≈ a·x + b with x = s^β.
+    let n = pairs.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(s, p) in pairs {
+        let x = s.powf(beta);
+        sx += x;
+        sy += p;
+        sxx += x * x;
+        sxy += x * p;
+    }
+    let det = n * sxx - sx * sx;
+    if det.abs() < 1e-12 {
+        return (0.0, 0.0, f64::INFINITY);
+    }
+    let a = (n * sxy - sx * sy) / det;
+    let b = (sy - a * sx) / n;
+    let sse: f64 = pairs
+        .iter()
+        .map(|&(s, p)| {
+            let e = a * s.powf(beta) + b - p;
+            e * e
+        })
+        .sum();
+    (a, b, sse)
+}
+
+/// Fit `P = a·s^β + b` to ⟨speed GHz, total power W⟩ pairs.
+///
+/// Requires at least three pairs (three unknowns). `β` is searched over
+/// `(1, 4]` — the physically meaningful convex range.
+pub fn fit_power_model(pairs: &[(f64, f64)]) -> Option<FitReport> {
+    if pairs.len() < 3 {
+        return None;
+    }
+    // Golden-section search on the SSE over β.
+    let (mut lo, mut hi) = (1.0001f64, 4.0f64);
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let sse_at = |beta: f64| fit_linear(pairs, beta).2;
+    let (mut x1, mut x2) = (hi - phi * (hi - lo), lo + phi * (hi - lo));
+    let (mut f1, mut f2) = (sse_at(x1), sse_at(x2));
+    for _ in 0..200 {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = sse_at(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = sse_at(x2);
+        }
+        if hi - lo < 1e-10 {
+            break;
+        }
+    }
+    let beta = 0.5 * (lo + hi);
+    let (a, b, sse) = fit_linear(pairs, beta);
+    if !a.is_finite() || a <= 0.0 || !b.is_finite() {
+        return None;
+    }
+    let model = PolynomialPower::new(a, beta, b.max(0.0)).ok()?;
+    Some(FitReport { model, sse })
+}
+
+/// The Opteron 2380 measurement table of §V-G, as ⟨speed, power⟩ pairs.
+pub fn opteron_pairs() -> Vec<(f64, f64)> {
+    vec![(0.8, 11.06), (1.3, 13.275), (1.8, 16.85), (2.5, 22.69)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qes_core::power::PowerModel;
+
+    #[test]
+    fn reproduces_paper_fit_on_opteron_table() {
+        // §V-G: "we can get a = 2.6075, β = 1.791 and b = 9.2562".
+        let fit = fit_power_model(&opteron_pairs()).unwrap();
+        let m = fit.model;
+        assert!((m.beta - 1.791).abs() < 0.02, "beta {}", m.beta);
+        assert!((m.a - 2.6075).abs() < 0.05, "a {}", m.a);
+        assert!((m.b - 9.2562).abs() < 0.10, "b {}", m.b);
+        // The table is not exactly polynomial: the paper's own fit leaves
+        // a ~0.15 W residual at 1.3 GHz. SSE ≈ 0.042.
+        assert!(fit.sse < 0.1, "sse {}", fit.sse);
+    }
+
+    #[test]
+    fn recovers_known_model_exactly() {
+        let truth = PolynomialPower {
+            a: 5.0,
+            beta: 2.0,
+            b: 3.0,
+        };
+        let pairs: Vec<(f64, f64)> = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+            .iter()
+            .map(|&s| (s, truth.power(s)))
+            .collect();
+        let fit = fit_power_model(&pairs).unwrap();
+        assert!((fit.model.a - 5.0).abs() < 1e-4);
+        assert!((fit.model.beta - 2.0).abs() < 1e-4);
+        assert!((fit.model.b - 3.0).abs() < 1e-4);
+        assert!(fit.sse < 1e-8);
+    }
+
+    #[test]
+    fn fitted_model_predicts_table_points() {
+        let fit = fit_power_model(&opteron_pairs()).unwrap();
+        for (s, p) in opteron_pairs() {
+            let pred = fit.model.power(s);
+            assert!((pred - p).abs() < 0.2, "at {s} GHz: {pred} vs {p}");
+        }
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(fit_power_model(&[(1.0, 5.0), (2.0, 9.0)]).is_none());
+        assert!(fit_power_model(&[]).is_none());
+    }
+
+    #[test]
+    fn degenerate_identical_speeds_rejected() {
+        // All samples at one speed: the normal equations are singular.
+        let pairs = vec![(1.0, 5.0), (1.0, 5.1), (1.0, 4.9)];
+        assert!(fit_power_model(&pairs).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_stays_close() {
+        let truth = PolynomialPower::PAPER_REAL;
+        // ±1 % deterministic "noise".
+        let noise = [1.01, 0.99, 1.005, 0.995, 1.008, 0.992];
+        let pairs: Vec<(f64, f64)> = [0.8, 1.0, 1.3, 1.8, 2.2, 2.5]
+            .iter()
+            .zip(noise.iter())
+            .map(|(&s, &k)| (s, truth.power(s) * k))
+            .collect();
+        let fit = fit_power_model(&pairs).unwrap();
+        assert!((fit.model.beta - truth.beta).abs() < 0.25);
+        for &(s, _) in &pairs {
+            let rel = (fit.model.power(s) - truth.power(s)).abs() / truth.power(s);
+            assert!(rel < 0.03, "rel err {rel} at {s}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::job::JobId;
+use crate::time::SimTime;
+
+/// Errors produced when constructing or validating scheduling inputs and
+/// outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QesError {
+    /// A job's deadline is not after its release time.
+    EmptyWindow {
+        /// The offending job.
+        job: JobId,
+        /// Its release time.
+        release: SimTime,
+        /// Its (not-later) deadline.
+        deadline: SimTime,
+    },
+    /// A job has a negative or non-finite service demand.
+    BadDemand {
+        /// The offending job.
+        job: JobId,
+        /// The invalid demand value.
+        demand: f64,
+    },
+    /// The job set violates the agreeable-deadlines assumption (§II-A): a
+    /// job released later has an earlier deadline.
+    NotAgreeable {
+        /// The earlier-released job.
+        earlier: JobId,
+        /// The later-released job whose deadline is earlier.
+        later: JobId,
+    },
+    /// Two slices on the same core overlap in time.
+    OverlappingSlices {
+        /// Core index where the overlap occurs.
+        core: usize,
+        /// Instant at which the second slice starts inside the first.
+        at: SimTime,
+    },
+    /// A slice runs a job outside its `[release, deadline]` window.
+    SliceOutsideWindow {
+        /// The job scheduled out of window.
+        job: JobId,
+        /// Core index of the offending slice.
+        core: usize,
+    },
+    /// A job executes on more than one core (non-migratory model, §II-B).
+    Migration {
+        /// The migrating job.
+        job: JobId,
+        /// Core it first ran on.
+        first_core: usize,
+        /// Core it later appeared on.
+        second_core: usize,
+    },
+    /// Instantaneous total power exceeds the budget `H`.
+    PowerBudgetExceeded {
+        /// Instant of the violation.
+        at: SimTime,
+        /// Total power drawn at that instant (W).
+        power: f64,
+        /// The budget `H` (W).
+        budget: f64,
+    },
+    /// A job is processed beyond its service demand.
+    OverProcessed {
+        /// The over-processed job.
+        job: JobId,
+        /// Volume actually processed (units).
+        processed: f64,
+        /// Its service demand (units).
+        demand: f64,
+    },
+    /// A slice references a job missing from the job set.
+    UnknownJob {
+        /// The unknown id.
+        job: JobId,
+    },
+    /// A configuration parameter is out of its valid domain.
+    BadParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for QesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QesError::EmptyWindow { job, release, deadline } => write!(
+                f,
+                "job {job:?}: deadline {deadline} not after release {release}"
+            ),
+            QesError::BadDemand { job, demand } => {
+                write!(f, "job {job:?}: invalid demand {demand}")
+            }
+            QesError::NotAgreeable { earlier, later } => write!(
+                f,
+                "deadlines not agreeable: {later:?} released after {earlier:?} but deadlines are inverted"
+            ),
+            QesError::OverlappingSlices { core, at } => {
+                write!(f, "core {core}: overlapping slices at {at}")
+            }
+            QesError::SliceOutsideWindow { job, core } => {
+                write!(f, "job {job:?} scheduled outside its window on core {core}")
+            }
+            QesError::Migration { job, first_core, second_core } => write!(
+                f,
+                "job {job:?} migrated from core {first_core} to core {second_core}"
+            ),
+            QesError::PowerBudgetExceeded { at, power, budget } => write!(
+                f,
+                "power {power:.3}W exceeds budget {budget:.3}W at {at}"
+            ),
+            QesError::OverProcessed { job, processed, demand } => write!(
+                f,
+                "job {job:?} processed {processed:.3} units > demand {demand:.3}"
+            ),
+            QesError::UnknownJob { job } => write!(f, "unknown job {job:?} in schedule"),
+            QesError::BadParameter { what, value } => {
+                write!(f, "parameter {what} out of domain: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QesError::PowerBudgetExceeded {
+            at: SimTime::from_millis(10),
+            power: 321.5,
+            budget: 320.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("321.5"));
+        assert!(s.contains("320"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = QesError::UnknownJob { job: JobId(3) };
+        let b = QesError::UnknownJob { job: JobId(3) };
+        assert_eq!(a, b);
+    }
+}

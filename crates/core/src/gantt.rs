@@ -1,0 +1,183 @@
+//! ASCII Gantt rendering for schedules.
+//!
+//! A scheduler's output is hard to eyeball as a slice list; a Gantt chart
+//! in the terminal makes job placement, speeds and idle gaps obvious.
+//! Used by the examples and invaluable when debugging policies.
+//!
+//! ```text
+//! core 0 |000000001111111···222|   0–9 = job id mod 10, · = idle
+//! core 1 |33333·····444444444··|
+//!        0ms                 210ms
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::schedule::{CoreSchedule, Schedule};
+use crate::time::SimTime;
+
+/// Options for [`render_gantt`].
+#[derive(Clone, Copy, Debug)]
+pub struct GanttOptions {
+    /// Character columns for the time axis.
+    pub width: usize,
+    /// Show a per-slice speed row underneath each core.
+    pub show_speeds: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 72,
+            show_speeds: false,
+        }
+    }
+}
+
+/// Render a multicore schedule as an ASCII Gantt chart over `[from, to)`.
+pub fn render_gantt(s: &Schedule, from: SimTime, to: SimTime, opt: &GanttOptions) -> String {
+    let mut out = String::new();
+    if to <= from || opt.width == 0 {
+        return out;
+    }
+    let span = (to.as_micros() - from.as_micros()) as f64;
+    for (i, core) in s.cores().iter().enumerate() {
+        let (jobs_row, speed_row) = render_core(core, from, to, span, opt.width);
+        let _ = writeln!(out, "core {i:>2} |{jobs_row}|");
+        if opt.show_speeds {
+            let _ = writeln!(out, "        |{speed_row}|");
+        }
+    }
+    let label_from = format!("{:.0}ms", from.as_millis_f64());
+    let label_to = format!("{:.0}ms", to.as_millis_f64());
+    let pad = (opt.width + 1).saturating_sub(label_from.len() + label_to.len());
+    let _ = writeln!(
+        out,
+        "        {label_from}{}{label_to}",
+        " ".repeat(pad.max(1))
+    );
+    out
+}
+
+fn render_core(
+    core: &CoreSchedule,
+    from: SimTime,
+    to: SimTime,
+    span: f64,
+    width: usize,
+) -> (String, String) {
+    let mut jobs = vec!['\u{B7}'; width]; // '·'
+    let mut speeds = vec![' '; width];
+    for s in core.slices() {
+        if s.end <= from || s.start >= to {
+            continue;
+        }
+        let a = s.start.max(from).as_micros() - from.as_micros();
+        let b = s.end.min(to).as_micros() - from.as_micros();
+        let c0 = ((a as f64 / span) * width as f64).floor() as usize;
+        let c1 = (((b as f64 / span) * width as f64).ceil() as usize).min(width);
+        let glyph = char::from_digit(s.job.0 % 10, 10).unwrap_or('?');
+        // Speed bucket: 0–9 for 0–5 GHz in 0.5 GHz steps.
+        let sp = char::from_digit(((s.speed / 0.5).round() as u32).min(9), 10).unwrap_or('9');
+        for cell in c0..c1.max(c0 + 1).min(width) {
+            jobs[cell] = glyph;
+            speeds[cell] = sp;
+        }
+    }
+    (jobs.into_iter().collect(), speeds.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::schedule::Slice;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn sched() -> Schedule {
+        Schedule::new(vec![
+            CoreSchedule::new(vec![
+                Slice {
+                    job: JobId(0),
+                    start: ms(0),
+                    end: ms(50),
+                    speed: 2.0,
+                },
+                Slice {
+                    job: JobId(11),
+                    start: ms(60),
+                    end: ms(100),
+                    speed: 1.0,
+                },
+            ]),
+            CoreSchedule::new(vec![Slice {
+                job: JobId(2),
+                start: ms(25),
+                end: ms(75),
+                speed: 0.5,
+            }]),
+        ])
+    }
+
+    #[test]
+    fn renders_one_row_per_core_plus_axis() {
+        let g = render_gantt(&sched(), ms(0), ms(100), &GanttOptions::default());
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("core  0 |"));
+        assert!(lines[1].starts_with("core  1 |"));
+        assert!(lines[2].contains("0ms"));
+        assert!(lines[2].contains("100ms"));
+    }
+
+    #[test]
+    fn glyphs_land_in_the_right_half() {
+        let opt = GanttOptions {
+            width: 100,
+            show_speeds: false,
+        };
+        let g = render_gantt(&sched(), ms(0), ms(100), &opt);
+        let row0: Vec<char> = g.lines().next().unwrap().chars().collect();
+        // The first half of core 0 runs job 0; around 80 % runs job 11
+        // (glyph '1'); idle gap in between.
+        let body: String = row0[9..109].iter().collect();
+        assert_eq!(body.as_bytes()[10] as char, '0');
+        assert_eq!(body.as_bytes()[80] as char, '1');
+        assert_eq!(body.chars().nth(55), Some('\u{B7}'));
+    }
+
+    #[test]
+    fn speed_rows_show_buckets() {
+        let opt = GanttOptions {
+            width: 50,
+            show_speeds: true,
+        };
+        let g = render_gantt(&sched(), ms(0), ms(100), &opt);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 5); // 2 cores × 2 rows + axis
+                                    // Core 0's first slice at 2 GHz → bucket '4'.
+        assert!(lines[1].contains('4'));
+        // Core 1 at 0.5 GHz → bucket '1'.
+        assert!(lines[3].contains('1'));
+    }
+
+    #[test]
+    fn window_clipping() {
+        // Render only [60, 100): job 0 is out of view.
+        let g = render_gantt(&sched(), ms(60), ms(100), &GanttOptions::default());
+        let row0 = g.lines().next().unwrap();
+        let body = row0.split('|').nth(1).unwrap();
+        assert!(!body.contains('0'), "{body}");
+        assert!(body.contains('1'));
+    }
+
+    #[test]
+    fn degenerate_windows_render_empty() {
+        let g = render_gantt(&sched(), ms(100), ms(100), &GanttOptions::default());
+        assert!(g.is_empty());
+        let g = render_gantt(&sched(), ms(10), ms(5), &GanttOptions::default());
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! The composite ⟨quality, energy⟩ performance metric (paper §II-C).
+//!
+//! Service providers rank schedules lexicographically: first by total
+//! quality (higher is better), then — among schedules of equal quality —
+//! by energy (lower is better). [`QualityEnergy`] implements that order
+//! with an explicit quality tolerance, since two floating-point schedules
+//! "produce the same quality" only up to numerical error.
+
+use std::cmp::Ordering;
+
+/// A schedule's score under the composite metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityEnergy {
+    /// Total quality `Q = Σ f(p_j)`.
+    pub quality: f64,
+    /// Total dynamic energy `E` in joules.
+    pub energy: f64,
+}
+
+impl QualityEnergy {
+    /// Default tolerance within which two qualities are considered equal.
+    pub const DEFAULT_QUALITY_EPS: f64 = 1e-9;
+
+    /// Construct a score.
+    pub fn new(quality: f64, energy: f64) -> Self {
+        QualityEnergy { quality, energy }
+    }
+
+    /// Lexicographic comparison: `Greater` means `self` is *better*
+    /// (higher quality, or equal quality and lower energy).
+    pub fn compare(&self, other: &QualityEnergy) -> Ordering {
+        self.compare_with_eps(other, Self::DEFAULT_QUALITY_EPS)
+    }
+
+    /// [`QualityEnergy::compare`] with an explicit quality tolerance.
+    pub fn compare_with_eps(&self, other: &QualityEnergy, eps: f64) -> Ordering {
+        if self.quality > other.quality + eps {
+            Ordering::Greater
+        } else if other.quality > self.quality + eps {
+            Ordering::Less
+        } else if self.energy < other.energy - eps {
+            Ordering::Greater
+        } else if other.energy < self.energy - eps {
+            Ordering::Less
+        } else {
+            Ordering::Equal
+        }
+    }
+
+    /// True if `self` is at least as good as `other` under the metric.
+    pub fn dominates_or_ties(&self, other: &QualityEnergy) -> bool {
+        self.compare(other) != Ordering::Less
+    }
+
+    /// The better of two scores (`self` wins ties).
+    pub fn better(self, other: QualityEnergy) -> QualityEnergy {
+        if self.compare(&other) == Ordering::Less {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl std::fmt::Display for QualityEnergy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨Q={:.6}, E={:.3}J⟩", self.quality, self.energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_dominates_energy() {
+        let hi_q = QualityEnergy::new(0.95, 1000.0);
+        let lo_q = QualityEnergy::new(0.90, 1.0);
+        assert_eq!(hi_q.compare(&lo_q), Ordering::Greater);
+        assert_eq!(lo_q.compare(&hi_q), Ordering::Less);
+    }
+
+    #[test]
+    fn energy_breaks_quality_ties() {
+        let a = QualityEnergy::new(0.9, 100.0);
+        let b = QualityEnergy::new(0.9, 200.0);
+        assert_eq!(a.compare(&b), Ordering::Greater);
+        assert_eq!(b.compare(&a), Ordering::Less);
+        assert_eq!(a.compare(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn tolerance_merges_near_equal_qualities() {
+        let a = QualityEnergy::new(0.9 + 1e-12, 100.0);
+        let b = QualityEnergy::new(0.9, 200.0);
+        // Qualities are "equal" within eps, so lower energy wins.
+        assert_eq!(a.compare(&b), Ordering::Greater);
+        // With a zero tolerance the tiny quality edge wins instead.
+        assert_eq!(a.compare_with_eps(&b, 0.0), Ordering::Greater);
+        let c = QualityEnergy::new(0.9 + 1e-12, 300.0);
+        assert_eq!(c.compare(&b), Ordering::Less); // same quality, more energy
+    }
+
+    #[test]
+    fn better_and_dominates() {
+        let a = QualityEnergy::new(0.9, 100.0);
+        let b = QualityEnergy::new(0.8, 50.0);
+        assert_eq!(a.better(b), a);
+        assert_eq!(b.better(a), a);
+        assert!(a.dominates_or_ties(&b));
+        assert!(!b.dominates_or_ties(&a));
+        assert!(a.dominates_or_ties(&a));
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = QualityEnergy::new(0.9, 100.0);
+        let s = a.to_string();
+        assert!(s.contains("0.9"));
+        assert!(s.contains("100"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Multicore schedules and feasibility validation (paper §II-B/§II-C).
+//!
+//! A [`Schedule`] is a set of per-core [`Slice`]s: job `j` runs on core `i`
+//! at speed `s` over `[start, end)`. The model is non-migratory — once a
+//! job has a slice on a core, all its slices are on that core. Validation
+//! checks every constraint the paper imposes: windows, non-overlap,
+//! non-migration, the instantaneous power budget, and no over-processing.
+
+use std::collections::HashMap;
+
+use crate::error::QesError;
+use crate::job::{JobId, JobSet};
+use crate::power::PowerModel;
+use crate::quality::QualityFunction;
+use crate::speed::{SpeedPlan, SpeedSegment};
+use crate::time::SimTime;
+use crate::volume;
+
+/// One contiguous execution of a job on a core at a constant speed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Slice {
+    /// Which job runs.
+    pub job: JobId,
+    /// Start instant (inclusive).
+    pub start: SimTime,
+    /// End instant (exclusive).
+    pub end: SimTime,
+    /// Core speed in GHz during the slice.
+    pub speed: f64,
+}
+
+impl Slice {
+    /// Work volume processed by this slice.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        volume(self.speed, self.end.saturating_since(self.start))
+    }
+}
+
+/// The slices of a single core, kept in start order.
+#[derive(Clone, Debug, Default)]
+pub struct CoreSchedule {
+    slices: Vec<Slice>,
+}
+
+impl CoreSchedule {
+    /// Build from slices (sorted by start; empty slices dropped).
+    pub fn new(mut slices: Vec<Slice>) -> Self {
+        slices.retain(|s| s.end > s.start && s.speed > 0.0);
+        slices.sort_by_key(|s| (s.start, s.end));
+        CoreSchedule { slices }
+    }
+
+    /// The slices in time order.
+    #[inline]
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// True if the core never runs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// The speed profile implied by the slices.
+    pub fn speed_plan(&self) -> SpeedPlan {
+        SpeedPlan::new(
+            self.slices
+                .iter()
+                .map(|s| SpeedSegment {
+                    start: s.start,
+                    end: s.end,
+                    speed: s.speed,
+                })
+                .collect(),
+        )
+    }
+
+    /// Volume processed per job on this core.
+    pub fn volumes(&self) -> HashMap<JobId, f64> {
+        let mut m = HashMap::new();
+        for s in &self.slices {
+            *m.entry(s.job).or_insert(0.0) += s.volume();
+        }
+        m
+    }
+
+    /// Dynamic energy of the core's plan.
+    pub fn energy(&self, model: &dyn PowerModel) -> f64 {
+        self.speed_plan().total_energy(model)
+    }
+}
+
+/// A complete multicore schedule.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    cores: Vec<CoreSchedule>,
+}
+
+impl Schedule {
+    /// A schedule with `m` idle cores.
+    pub fn idle(m: usize) -> Self {
+        Schedule {
+            cores: vec![CoreSchedule::default(); m],
+        }
+    }
+
+    /// Build from per-core schedules.
+    pub fn new(cores: Vec<CoreSchedule>) -> Self {
+        Schedule { cores }
+    }
+
+    /// Build a single-core schedule.
+    pub fn single(core: CoreSchedule) -> Self {
+        Schedule { cores: vec![core] }
+    }
+
+    /// Per-core schedules.
+    #[inline]
+    pub fn cores(&self) -> &[CoreSchedule] {
+        &self.cores
+    }
+
+    /// Number of cores.
+    #[inline]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// All slices, tagged with their core index.
+    pub fn all_slices(&self) -> impl Iterator<Item = (usize, &Slice)> {
+        self.cores
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| c.slices().iter().map(move |s| (i, s)))
+    }
+
+    /// Volume processed per job across all cores.
+    pub fn volumes(&self) -> HashMap<JobId, f64> {
+        let mut m = HashMap::new();
+        for c in &self.cores {
+            for (id, v) in c.volumes() {
+                *m.entry(id).or_insert(0.0) += v;
+            }
+        }
+        m
+    }
+
+    /// Total dynamic energy (J) of the schedule.
+    pub fn total_energy(&self, model: &dyn PowerModel) -> f64 {
+        self.cores.iter().map(|c| c.energy(model)).sum()
+    }
+
+    /// Total quality of the schedule for `jobs` under `f`. Jobs absent from
+    /// the schedule contribute `f(0)` (or 0 for non-partial jobs).
+    pub fn total_quality(&self, jobs: &JobSet, f: &dyn QualityFunction) -> f64 {
+        let vols = self.volumes();
+        jobs.iter()
+            .map(|j| f.job_quality(j, vols.get(&j.id).copied().unwrap_or(0.0)))
+            .sum()
+    }
+
+    /// Instantaneous total dynamic power at `t`.
+    pub fn power_at(&self, t: SimTime, model: &dyn PowerModel) -> f64 {
+        self.cores
+            .iter()
+            .map(|c| c.speed_plan().power_at(t, model))
+            .sum()
+    }
+
+    /// Validate every model constraint against `jobs`:
+    ///
+    /// 1. every slice's job exists;
+    /// 2. slices stay within their job's `[release, deadline]` window;
+    /// 3. slices on one core do not overlap;
+    /// 4. no job migrates between cores;
+    /// 5. no job is processed beyond its demand (+`vol_eps` units);
+    /// 6. total power never exceeds `budget` (+`power_eps` W), checked at
+    ///    every slice boundary (power is piecewise constant, so boundaries
+    ///    suffice).
+    pub fn validate(
+        &self,
+        jobs: &JobSet,
+        model: &dyn PowerModel,
+        budget: f64,
+    ) -> Result<(), QesError> {
+        self.validate_with_tolerance(jobs, model, budget, 1e-6, 1e-6)
+    }
+
+    /// [`Schedule::validate`] with explicit tolerances.
+    pub fn validate_with_tolerance(
+        &self,
+        jobs: &JobSet,
+        model: &dyn PowerModel,
+        budget: f64,
+        vol_eps: f64,
+        power_eps: f64,
+    ) -> Result<(), QesError> {
+        let mut home: HashMap<JobId, usize> = HashMap::new();
+        for (core_idx, core) in self.cores.iter().enumerate() {
+            // (3) non-overlap within a core (slices are start-sorted).
+            for w in core.slices().windows(2) {
+                if w[1].start < w[0].end {
+                    return Err(QesError::OverlappingSlices {
+                        core: core_idx,
+                        at: w[1].start,
+                    });
+                }
+            }
+            for s in core.slices() {
+                // (1) known job; (2) window containment.
+                let job = jobs.get(s.job).ok_or(QesError::UnknownJob { job: s.job })?;
+                if s.start < job.release || s.end > job.deadline {
+                    return Err(QesError::SliceOutsideWindow {
+                        job: s.job,
+                        core: core_idx,
+                    });
+                }
+                // (4) non-migration.
+                match home.get(&s.job) {
+                    Some(&c0) if c0 != core_idx => {
+                        return Err(QesError::Migration {
+                            job: s.job,
+                            first_core: c0,
+                            second_core: core_idx,
+                        })
+                    }
+                    None => {
+                        home.insert(s.job, core_idx);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // (5) processed volume within demand.
+        for (id, v) in self.volumes() {
+            let job = jobs.get(id).expect("checked above");
+            if v > job.demand + vol_eps {
+                return Err(QesError::OverProcessed {
+                    job: id,
+                    processed: v,
+                    demand: job.demand,
+                });
+            }
+        }
+        // (6) power budget at every boundary instant.
+        let mut instants: Vec<SimTime> = self
+            .all_slices()
+            .flat_map(|(_, s)| [s.start, s.end])
+            .collect();
+        instants.sort();
+        instants.dedup();
+        for &t in &instants {
+            let p = self.power_at(t, model);
+            if p > budget + power_eps {
+                return Err(QesError::PowerBudgetExceeded {
+                    at: t,
+                    power: p,
+                    budget,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::power::PolynomialPower;
+    use crate::quality::ExpQuality;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn jobset() -> JobSet {
+        JobSet::new(vec![
+            Job::new(0, ms(0), ms(150), 200.0).unwrap(),
+            Job::new(1, ms(10), ms(160), 100.0).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn slice(j: u32, a: u64, b: u64, s: f64) -> Slice {
+        Slice {
+            job: JobId(j),
+            start: ms(a),
+            end: ms(b),
+            speed: s,
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let jobs = jobset();
+        let sched = Schedule::new(vec![
+            CoreSchedule::new(vec![slice(0, 0, 100, 2.0)]), // 200 units
+            CoreSchedule::new(vec![slice(1, 10, 110, 1.0)]), // 100 units
+        ]);
+        let m = PolynomialPower::PAPER_SIM;
+        sched.validate(&jobs, &m, 320.0).unwrap();
+        let vols = sched.volumes();
+        assert!((vols[&JobId(0)] - 200.0).abs() < 1e-9);
+        assert!((vols[&JobId(1)] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_window_violation() {
+        let jobs = jobset();
+        let sched = Schedule::single(CoreSchedule::new(vec![slice(1, 0, 50, 1.0)])); // starts before release
+        let m = PolynomialPower::PAPER_SIM;
+        assert!(matches!(
+            sched.validate(&jobs, &m, 320.0),
+            Err(QesError::SliceOutsideWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let jobs = jobset();
+        let sched = Schedule::single(CoreSchedule::new(vec![
+            slice(0, 0, 50, 1.0),
+            slice(1, 40, 90, 1.0),
+        ]));
+        let m = PolynomialPower::PAPER_SIM;
+        assert!(matches!(
+            sched.validate(&jobs, &m, 320.0),
+            Err(QesError::OverlappingSlices { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_migration() {
+        let jobs = jobset();
+        let sched = Schedule::new(vec![
+            CoreSchedule::new(vec![slice(0, 0, 50, 1.0)]),
+            CoreSchedule::new(vec![slice(0, 60, 100, 1.0)]),
+        ]);
+        let m = PolynomialPower::PAPER_SIM;
+        assert!(matches!(
+            sched.validate(&jobs, &m, 320.0),
+            Err(QesError::Migration { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_power_budget_violation() {
+        let jobs = jobset();
+        // Two cores at 2 GHz = 40 W > 30 W budget.
+        let sched = Schedule::new(vec![
+            CoreSchedule::new(vec![slice(0, 0, 100, 2.0)]),
+            CoreSchedule::new(vec![slice(1, 10, 60, 2.0)]),
+        ]);
+        let m = PolynomialPower::PAPER_SIM;
+        assert!(matches!(
+            sched.validate(&jobs, &m, 30.0),
+            Err(QesError::PowerBudgetExceeded { .. })
+        ));
+        // But it passes a 40 W budget.
+        sched.validate(&jobs, &m, 40.0).unwrap();
+    }
+
+    #[test]
+    fn rejects_over_processing() {
+        let jobs = jobset();
+        // Job 1 demands 100 units; 2 GHz × 100 ms = 200 units.
+        let sched = Schedule::single(CoreSchedule::new(vec![slice(1, 10, 110, 2.0)]));
+        let m = PolynomialPower::PAPER_SIM;
+        assert!(matches!(
+            sched.validate(&jobs, &m, 320.0),
+            Err(QesError::OverProcessed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_job() {
+        let jobs = jobset();
+        let sched = Schedule::single(CoreSchedule::new(vec![slice(7, 0, 10, 1.0)]));
+        let m = PolynomialPower::PAPER_SIM;
+        assert!(matches!(
+            sched.validate(&jobs, &m, 320.0),
+            Err(QesError::UnknownJob { .. })
+        ));
+    }
+
+    #[test]
+    fn quality_and_energy_aggregate() {
+        let jobs = jobset();
+        let sched = Schedule::new(vec![
+            CoreSchedule::new(vec![slice(0, 0, 100, 2.0)]),
+            CoreSchedule::new(vec![slice(1, 10, 110, 1.0)]),
+        ]);
+        let m = PolynomialPower::PAPER_SIM;
+        let q = ExpQuality::PAPER_DEFAULT;
+        // Energy: 20 W × 0.1 s + 5 W × 0.1 s = 2.5 J.
+        assert!((sched.total_energy(&m) - 2.5).abs() < 1e-9);
+        let quality = sched.total_quality(&jobs, &q);
+        let expect = q.value(200.0) + q.value(100.0);
+        assert!((quality - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_schedule_is_valid_and_free() {
+        let jobs = jobset();
+        let sched = Schedule::idle(4);
+        let m = PolynomialPower::PAPER_SIM;
+        sched.validate(&jobs, &m, 0.0).unwrap();
+        assert_eq!(sched.total_energy(&m), 0.0);
+        assert_eq!(sched.num_cores(), 4);
+    }
+}

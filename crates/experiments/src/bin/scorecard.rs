@@ -1,0 +1,255 @@
+//! Reproduction scorecard: run every figure and check the paper's claims
+//! programmatically.
+//!
+//! ```text
+//! cargo run --release -p qes-experiments --bin scorecard [--full] [--seed N]
+//! ```
+//!
+//! Each claim the paper makes about a figure becomes one PASS/FAIL row.
+//! Quick mode (default) uses 30 s horizons — statistical wiggle applies;
+//! `--full` reruns at the paper's scale.
+
+use std::process::ExitCode;
+
+use qes_experiments::figures::{
+    fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, FigOptions,
+};
+use qes_experiments::report::FigureReport;
+
+struct Scorecard {
+    rows: Vec<(bool, String)>,
+}
+
+impl Scorecard {
+    fn new() -> Self {
+        Scorecard { rows: Vec::new() }
+    }
+
+    fn check(&mut self, ok: bool, label: impl Into<String>) {
+        self.rows.push((ok, label.into()));
+    }
+
+    fn print_and_exit(self) -> ExitCode {
+        let mut failed = 0;
+        println!("\n=== reproduction scorecard ===");
+        for (ok, label) in &self.rows {
+            println!("  [{}] {label}", if *ok { "PASS" } else { "FAIL" });
+            if !ok {
+                failed += 1;
+            }
+        }
+        println!(
+            "\n{} of {} claims hold",
+            self.rows.len() - failed,
+            self.rows.len()
+        );
+        if failed == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn col(f: &FigureReport, name: &str) -> Vec<f64> {
+    f.column_values(name)
+        .unwrap_or_else(|| panic!("missing column {name} in {}", f.id))
+}
+
+fn monotone_non_increasing(v: &[f64], slack: f64) -> bool {
+    v.windows(2).all(|w| w[1] <= w[0] + slack)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opt = FigOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opt.full = true,
+            "--seed" => {
+                i += 1;
+                opt.seed = args[i].parse().expect("--seed N");
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let mut sc = Scorecard::new();
+
+    // --- Fig. 3 -----------------------------------------------------
+    eprintln!("[fig03] architectures…");
+    let r = fig03::run(&opt);
+    let (qc, qs, qn) = (
+        col(&r[0], "quality_C-DVFS"),
+        col(&r[0], "quality_S-DVFS"),
+        col(&r[0], "quality_No-DVFS"),
+    );
+    sc.check(
+        qc[0] > qs[0] + 0.01 && qc[0] > qn[0] + 0.01,
+        "fig03: C-DVFS quality clearly best at light load (paper: ~2 pp)",
+    );
+    let n = qc.len() - 1;
+    sc.check(
+        (qc[n] - qs[n]).abs() < 0.02 && (qs[n] - qn[n]).abs() < 0.02,
+        "fig03: architectures converge in quality under heavy load",
+    );
+    let (ec, es, en) = (
+        col(&r[1], "energy_C-DVFS"),
+        col(&r[1], "energy_S-DVFS"),
+        col(&r[1], "energy_No-DVFS"),
+    );
+    sc.check(
+        en[0] > es[0] && es[0] > ec[0],
+        "fig03: light-load energy ordering No > S > C",
+    );
+    sc.check(
+        (en[n] - ec[n]).abs() / en[n] < 0.02,
+        "fig03: energies converge to the budget under heavy load",
+    );
+
+    // --- Fig. 4 -----------------------------------------------------
+    eprintln!("[fig04] partial evaluation…");
+    let r = fig04::run(&opt);
+    let (q0, q50, q100) = (
+        col(&r[0], "quality_0%"),
+        col(&r[0], "quality_50%"),
+        col(&r[0], "quality_100%"),
+    );
+    let n = q0.len() - 1;
+    sc.check(
+        q100[n] > q50[n] && q50[n] > q0[n],
+        "fig04: more partial support ⇒ more quality under load",
+    );
+    let (e0, e100) = (col(&r[1], "energy_0%"), col(&r[1], "energy_100%"));
+    sc.check(
+        e100[n] > e0[n],
+        "fig04: more partial support ⇒ more energy (more work done)",
+    );
+
+    // --- Fig. 5 -----------------------------------------------------
+    eprintln!("[fig05] baselines…");
+    let r = fig05::run(&opt);
+    let (qd, qf, ql, qsj) = (
+        col(&r[0], "quality_DES"),
+        col(&r[0], "quality_FCFS"),
+        col(&r[0], "quality_LJF"),
+        col(&r[0], "quality_SJF"),
+    );
+    sc.check(
+        (0..qd.len()).all(|i| qd[i] + 0.01 >= qf[i].max(ql[i]).max(qsj[i])),
+        "fig05: DES has the best quality at every load",
+    );
+    let n = qd.len() - 1;
+    sc.check(
+        qf[n] > ql[n] && ql[n] > qsj[n],
+        "fig05: FCFS > LJF > SJF under heavy load (deadline-order argument)",
+    );
+    let esj = col(&r[1], "energy_SJF");
+    let peak = esj.iter().cloned().fold(0.0, f64::max);
+    sc.check(
+        *esj.last().unwrap() < peak,
+        "fig05: SJF energy falls under overload (long jobs starved)",
+    );
+
+    // --- Fig. 6 -----------------------------------------------------
+    eprintln!("[fig06] WF-enhanced baselines…");
+    let r = fig06::run(&opt);
+    let (qd, qfw) = (col(&r[0], "quality_DES"), col(&r[0], "quality_FCFS+WF"));
+    sc.check(
+        qfw[0] > 0.97,
+        "fig06: WF lifts FCFS to near-full quality at light load",
+    );
+    let n = qd.len() - 1;
+    sc.check(
+        qd[n] + 0.01 >= qfw[n],
+        "fig06: DES keeps its advantage over FCFS+WF under heavy load",
+    );
+
+    // --- Fig. 7 -----------------------------------------------------
+    eprintln!("[fig07] quality functions…");
+    let r = fig07::run(&opt);
+    let hi = col(&r[1], "quality_c=0.009");
+    let lo = col(&r[1], "quality_c=0.0005");
+    let n = hi.len() - 1;
+    sc.check(
+        hi[n] > lo[n],
+        "fig07: more concave quality function earns more under load",
+    );
+
+    // --- Fig. 8 -----------------------------------------------------
+    eprintln!("[fig08] power budgets…");
+    let r = fig08::run(&opt);
+    let (h80, h320, h640) = (
+        col(&r[0], "quality_H=80"),
+        col(&r[0], "quality_H=320"),
+        col(&r[0], "quality_H=640"),
+    );
+    let n = h80.len() - 1;
+    sc.check(
+        h640[n] + 1e-9 >= h320[n] && h320[n] > h80[n],
+        "fig08: more budget sustains more quality under heavy load",
+    );
+    sc.check(
+        h320[0] > 0.97 && h640[0] > 0.97,
+        "fig08: extra budget unnecessary at light load",
+    );
+
+    // --- Fig. 9 -----------------------------------------------------
+    eprintln!("[fig09] core counts…");
+    let r = fig09::run(&opt);
+    let q = col(&r[0], "quality");
+    let e = col(&r[0], "energy");
+    sc.check(
+        q[0] < q[2] && q[2] < q[4],
+        "fig09: quality improves with core count (1 → 4 → 16)",
+    );
+    sc.check(
+        (q[6] - q[4]).abs() < 0.02,
+        "fig09: saturation by 16 cores (64 adds nothing)",
+    );
+    sc.check(
+        e[0] > e[4],
+        "fig09: few fat cores waste energy (convex power)",
+    );
+
+    // --- Fig. 10 ----------------------------------------------------
+    eprintln!("[fig10] discrete speeds…");
+    let r = fig10::run(&opt);
+    let (qc, qd) = (
+        col(&r[0], "quality_continuous"),
+        col(&r[0], "quality_discrete"),
+    );
+    sc.check(
+        (0..qc.len()).all(|i| qc[i] + 0.01 >= qd[i] && qc[i] - qd[i] < 0.05),
+        "fig10: discrete tracks continuous within a few pp",
+    );
+    let gaps: Vec<f64> = (0..qc.len()).map(|i| qc[i] - qd[i]).collect();
+    sc.check(
+        gaps[gaps.len() - 1] <= gaps[0] + 0.01,
+        "fig10: the discrete gap shrinks under heavy load",
+    );
+
+    // --- Fig. 11 ----------------------------------------------------
+    eprintln!("[fig11] real-system validation…");
+    let r = fig11::run(&opt);
+    let sim = col(&r[0], "sim_energy");
+    let real = col(&r[0], "real_energy");
+    sc.check(
+        (0..sim.len()).all(|i| (real[i] / sim[i] - 1.0).abs() < 0.05),
+        "fig11: measured energy within 5% of simulation",
+    );
+    sc.check(
+        (0..sim.len()).all(|i| real[i] >= sim[i]),
+        "fig11: measured side marginally higher (scheduling overhead)",
+    );
+    sc.check(
+        monotone_non_increasing(&sim.iter().rev().cloned().collect::<Vec<_>>(), 1e-9),
+        "fig11: energy grows with arrival rate",
+    );
+
+    sc.print_and_exit()
+}

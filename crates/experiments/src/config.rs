@@ -1,0 +1,319 @@
+//! Experiment configuration and the policy factory.
+
+use qes_core::power::{DiscreteSpeedSet, PolynomialPower};
+use qes_core::quality::ExpQuality;
+use qes_core::time::{SimDuration, SimTime};
+use qes_multicore::discrete::default_ladder;
+use qes_multicore::{ArchKind, BaselineOrder, BaselinePolicy, DesPolicy, SchedulingPolicy};
+use qes_sim::engine::{SimConfig, Simulator};
+use qes_sim::report::SimReport;
+use qes_sim::trace::SimTrace;
+use qes_workload::WebSearchWorkload;
+
+/// Every scheduler variant evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// DES on core-level DVFS (the paper's algorithm).
+    Des,
+    /// DES degraded to system-level DVFS (§V-A).
+    DesSDvfs,
+    /// DES degraded to no DVFS (§V-A).
+    DesNoDvfs,
+    /// DES with discrete speed scaling (§V-F).
+    DesDiscrete,
+    /// FCFS with static equal power sharing.
+    Fcfs,
+    /// LJF with static equal power sharing.
+    Ljf,
+    /// SJF with static equal power sharing.
+    Sjf,
+    /// FCFS enhanced with WF power distribution (§V-E).
+    FcfsWf,
+    /// LJF enhanced with WF power distribution.
+    LjfWf,
+    /// SJF enhanced with WF power distribution.
+    SjfWf,
+}
+
+impl PolicyKind {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Des => "DES",
+            PolicyKind::DesSDvfs => "DES/S-DVFS",
+            PolicyKind::DesNoDvfs => "DES/No-DVFS",
+            PolicyKind::DesDiscrete => "DES/discrete",
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::Ljf => "LJF",
+            PolicyKind::Sjf => "SJF",
+            PolicyKind::FcfsWf => "FCFS+WF",
+            PolicyKind::LjfWf => "LJF+WF",
+            PolicyKind::SjfWf => "SJF+WF",
+        }
+    }
+
+    /// Instantiate the policy, given the (continuous) power model for
+    /// ladder derivation.
+    pub fn build(self, model: &PolynomialPower) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicyKind::Des => Box::new(DesPolicy::new()),
+            PolicyKind::DesSDvfs => Box::new(DesPolicy::on_arch(ArchKind::SDvfs)),
+            PolicyKind::DesNoDvfs => Box::new(DesPolicy::on_arch(ArchKind::NoDvfs)),
+            PolicyKind::DesDiscrete => Box::new(DesPolicy::with_discrete(default_ladder(model))),
+            PolicyKind::Fcfs => Box::new(BaselinePolicy::new(BaselineOrder::Fcfs)),
+            PolicyKind::Ljf => Box::new(BaselinePolicy::new(BaselineOrder::Ljf)),
+            PolicyKind::Sjf => Box::new(BaselinePolicy::new(BaselineOrder::Sjf)),
+            PolicyKind::FcfsWf => Box::new(BaselinePolicy::with_wf(BaselineOrder::Fcfs)),
+            PolicyKind::LjfWf => Box::new(BaselinePolicy::with_wf(BaselineOrder::Ljf)),
+            PolicyKind::SjfWf => Box::new(BaselinePolicy::with_wf(BaselineOrder::Sjf)),
+        }
+    }
+}
+
+/// Full description of one simulation experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Number of cores `m` (paper: 16).
+    pub num_cores: usize,
+    /// Dynamic power budget `H` in watts (paper: 320).
+    pub budget: f64,
+    /// The continuous power model (paper: `P = 5·s²`).
+    pub power: PolynomialPower,
+    /// Quality-function concavity `c` (paper: 0.003).
+    pub quality_c: f64,
+    /// Poisson arrival rate in requests/second.
+    pub arrival_rate: f64,
+    /// Fraction of jobs supporting partial evaluation (§V-D).
+    pub partial_fraction: f64,
+    /// Simulated horizon in seconds (paper: 1800).
+    pub sim_seconds: f64,
+    /// Override the discrete ladder for [`PolicyKind::DesDiscrete`];
+    /// `None` uses [`default_ladder`].
+    pub ladder: Option<DiscreteSpeedSet>,
+}
+
+impl ExperimentConfig {
+    /// The paper's §V-B defaults at a 120 req/s light load.
+    pub fn paper_default() -> Self {
+        ExperimentConfig {
+            num_cores: 16,
+            budget: 320.0,
+            power: PolynomialPower::PAPER_SIM,
+            quality_c: 0.003,
+            arrival_rate: 120.0,
+            partial_fraction: 1.0,
+            sim_seconds: 1800.0,
+            ladder: None,
+        }
+    }
+
+    /// A scaled-down variant for CI and quick runs (same parameters, a
+    /// 20 s horizon).
+    pub fn quick() -> Self {
+        Self::paper_default().with_sim_seconds(20.0)
+    }
+
+    /// Builder: arrival rate.
+    pub fn with_arrival_rate(mut self, r: f64) -> Self {
+        self.arrival_rate = r;
+        self
+    }
+
+    /// Builder: horizon seconds.
+    pub fn with_sim_seconds(mut self, s: f64) -> Self {
+        self.sim_seconds = s;
+        self
+    }
+
+    /// Builder: power budget.
+    pub fn with_budget(mut self, h: f64) -> Self {
+        self.budget = h;
+        self
+    }
+
+    /// Builder: core count.
+    pub fn with_cores(mut self, m: usize) -> Self {
+        self.num_cores = m;
+        self
+    }
+
+    /// Builder: quality concavity.
+    pub fn with_quality_c(mut self, c: f64) -> Self {
+        self.quality_c = c;
+        self
+    }
+
+    /// Builder: partial-evaluation fraction.
+    pub fn with_partial_fraction(mut self, f: f64) -> Self {
+        self.partial_fraction = f;
+        self
+    }
+
+    /// The workload this configuration generates.
+    pub fn workload(&self) -> WebSearchWorkload {
+        WebSearchWorkload::new(self.arrival_rate)
+            .with_horizon(SimTime::from_secs_f64(self.sim_seconds))
+            .with_partial_fraction(self.partial_fraction)
+    }
+}
+
+/// Run one policy over this configuration's workload, deterministically
+/// from `seed`.
+pub fn run_policy(cfg: &ExperimentConfig, kind: PolicyKind, seed: u64) -> SimReport {
+    run_inner(cfg, kind, seed, false).0
+}
+
+/// [`run_policy`], also returning the executed trace (for §V-G replay).
+pub fn run_policy_traced(
+    cfg: &ExperimentConfig,
+    kind: PolicyKind,
+    seed: u64,
+) -> (SimReport, SimTrace) {
+    run_inner(cfg, kind, seed, true)
+}
+
+/// Run a policy over an explicit, pre-generated job set (for workloads
+/// the [`ExperimentConfig`] generator cannot express, e.g. time-varying
+/// arrival rates).
+pub fn run_jobset(
+    cfg: &ExperimentConfig,
+    kind: PolicyKind,
+    jobs: &qes_core::job::JobSet,
+) -> SimReport {
+    let quality = ExpQuality::new(cfg.quality_c);
+    let sim_cfg = SimConfig {
+        num_cores: cfg.num_cores,
+        budget: cfg.budget,
+        model: &cfg.power,
+        quality: &quality,
+        end: SimTime::from_secs_f64(cfg.sim_seconds),
+        record_trace: false,
+        overhead: SimDuration::ZERO,
+    };
+    let mut policy: Box<dyn SchedulingPolicy> = match (kind, &cfg.ladder) {
+        (PolicyKind::DesDiscrete, Some(l)) => Box::new(DesPolicy::with_discrete(l.clone())),
+        _ => kind.build(&cfg.power),
+    };
+    let (mut report, _) = Simulator::run(&sim_cfg, policy.as_mut(), jobs);
+    report.policy = kind.name().to_string();
+    report
+}
+
+fn run_inner(
+    cfg: &ExperimentConfig,
+    kind: PolicyKind,
+    seed: u64,
+    record_trace: bool,
+) -> (SimReport, SimTrace) {
+    let jobs = cfg
+        .workload()
+        .generate(seed)
+        .expect("web-search workload always validates");
+    let quality = ExpQuality::new(cfg.quality_c);
+    let sim_cfg = SimConfig {
+        num_cores: cfg.num_cores,
+        budget: cfg.budget,
+        model: &cfg.power,
+        quality: &quality,
+        end: SimTime::from_secs_f64(cfg.sim_seconds),
+        record_trace,
+        overhead: SimDuration::ZERO,
+    };
+    let mut policy: Box<dyn SchedulingPolicy> = match (kind, &cfg.ladder) {
+        (PolicyKind::DesDiscrete, Some(l)) => Box::new(DesPolicy::with_discrete(l.clone())),
+        _ => kind.build(&cfg.power),
+    };
+    let (mut report, trace) = Simulator::run(&sim_cfg, policy.as_mut(), &jobs);
+    report.policy = kind.name().to_string();
+    (report, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5b() {
+        let c = ExperimentConfig::paper_default();
+        assert_eq!(c.num_cores, 16);
+        assert_eq!(c.budget, 320.0);
+        assert_eq!(c.power.a, 5.0);
+        assert_eq!(c.power.beta, 2.0);
+        assert_eq!(c.quality_c, 0.003);
+        assert_eq!(c.sim_seconds, 1800.0);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = ExperimentConfig::paper_default()
+            .with_arrival_rate(200.0)
+            .with_budget(80.0)
+            .with_cores(4)
+            .with_quality_c(0.009)
+            .with_partial_fraction(0.5)
+            .with_sim_seconds(10.0);
+        assert_eq!(c.arrival_rate, 200.0);
+        assert_eq!(c.budget, 80.0);
+        assert_eq!(c.num_cores, 4);
+        assert_eq!(c.quality_c, 0.009);
+        assert_eq!(c.partial_fraction, 0.5);
+        assert_eq!(c.sim_seconds, 10.0);
+    }
+
+    #[test]
+    fn policy_names_cover_paper_legends() {
+        let names: Vec<&str> = [
+            PolicyKind::Des,
+            PolicyKind::Fcfs,
+            PolicyKind::Ljf,
+            PolicyKind::Sjf,
+            PolicyKind::FcfsWf,
+            PolicyKind::LjfWf,
+            PolicyKind::SjfWf,
+            PolicyKind::DesSDvfs,
+            PolicyKind::DesNoDvfs,
+            PolicyKind::DesDiscrete,
+        ]
+        .iter()
+        .map(|k| k.name())
+        .collect();
+        assert!(names.contains(&"DES"));
+        assert!(names.contains(&"SJF+WF"));
+        assert!(names.contains(&"DES/discrete"));
+    }
+
+    #[test]
+    fn run_policy_is_deterministic() {
+        let cfg = ExperimentConfig::quick()
+            .with_sim_seconds(3.0)
+            .with_arrival_rate(60.0);
+        let a = run_policy(&cfg, PolicyKind::Des, 7);
+        let b = run_policy(&cfg, PolicyKind::Des, 7);
+        assert_eq!(a.total_quality, b.total_quality);
+        assert_eq!(a.energy_joules, b.energy_joules);
+        assert_eq!(a.jobs_total, b.jobs_total);
+    }
+
+    #[test]
+    fn light_load_near_full_quality() {
+        let cfg = ExperimentConfig::quick()
+            .with_sim_seconds(5.0)
+            .with_arrival_rate(60.0);
+        let r = run_policy(&cfg, PolicyKind::Des, 1);
+        assert!(
+            r.normalized_quality() > 0.98,
+            "quality {}",
+            r.normalized_quality()
+        );
+    }
+
+    #[test]
+    fn trace_energy_consistent_with_report_for_des() {
+        let cfg = ExperimentConfig::quick()
+            .with_sim_seconds(3.0)
+            .with_arrival_rate(80.0);
+        let (report, trace) = run_policy_traced(&cfg, PolicyKind::Des, 3);
+        // C-DVFS gates idle cores: trace energy == report energy.
+        assert!((report.energy_joules - trace.dynamic_energy(&cfg.power)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,150 @@
+//! Ablation study: which of DES's ingredients buys what.
+//!
+//! Not a figure in the paper, but the natural companion to its design
+//! arguments: §IV-B argues for *cumulative* round-robin over restarting,
+//! §IV-C for water-filling over static power shares, and our DESIGN.md §3
+//! documents the eager-vs-efficient realization choice of the
+//! budget-bounded step. Each variant removes exactly one ingredient from
+//! full DES.
+
+use rayon::prelude::*;
+
+use qes_core::quality::ExpQuality;
+use qes_core::time::{SimDuration, SimTime};
+use qes_multicore::des::{DesPolicy, JobSharing, PowerSharing};
+use qes_sim::engine::{SimConfig, Simulator};
+use qes_singlecore::OnlineMode;
+
+use crate::config::ExperimentConfig;
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// The ablation variants, in presentation order.
+fn variants() -> Vec<(&'static str, DesPolicy)> {
+    vec![
+        ("full", DesPolicy::new()),
+        (
+            "restart-rr",
+            DesPolicy::new().with_job_sharing(JobSharing::RestartRr),
+        ),
+        (
+            "static-power",
+            DesPolicy::new().with_power_sharing(PowerSharing::StaticEqual),
+        ),
+        (
+            "efficient",
+            DesPolicy::new().with_mode(OnlineMode::Efficient),
+        ),
+    ]
+}
+
+/// Run the ablation sweep.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    let base = ExperimentConfig::paper_default().with_sim_seconds(opt.sim_seconds());
+    let rates = opt.rates();
+    let labels: Vec<&'static str> = variants().iter().map(|(l, _)| *l).collect();
+
+    let combos: Vec<(usize, f64)> = (0..labels.len())
+        .flat_map(|v| rates.iter().map(move |&r| (v, r)))
+        .collect();
+    let results: Vec<(usize, f64, f64, f64)> = combos
+        .into_par_iter()
+        .map(|(v, rate)| {
+            let cfg = base.clone().with_arrival_rate(rate);
+            let jobs = cfg.workload().generate(opt.seed).expect("valid workload");
+            let quality = ExpQuality::new(cfg.quality_c);
+            let sim_cfg = SimConfig {
+                num_cores: cfg.num_cores,
+                budget: cfg.budget,
+                model: &cfg.power,
+                quality: &quality,
+                end: SimTime::from_secs_f64(cfg.sim_seconds),
+                record_trace: false,
+                overhead: SimDuration::ZERO,
+            };
+            let mut policy = variants().swap_remove(v).1;
+            let (rep, _) = Simulator::run(&sim_cfg, &mut policy, &jobs);
+            (v, rate, rep.normalized_quality(), rep.energy_joules)
+        })
+        .collect();
+
+    let mut cols_q = vec!["rate".to_string()];
+    let mut cols_e = vec!["rate".to_string()];
+    for l in &labels {
+        cols_q.push(format!("quality_{l}"));
+        cols_e.push(format!("energy_{l}"));
+    }
+    let mut fq = FigureReport::new("ablationa", "DES ablation — quality", cols_q);
+    let mut fe = FigureReport::new("ablationb", "DES ablation — energy", cols_e);
+    for &rate in &rates {
+        let mut rq = vec![rate];
+        let mut re = vec![rate];
+        for v in 0..labels.len() {
+            let &(_, _, q, e) = results
+                .iter()
+                .find(|&&(vv, rr, _, _)| vv == v && rr == rate)
+                .expect("measured");
+            rq.push(q);
+            re.push(e);
+        }
+        fq.push_row(rq);
+        fe.push_row(re);
+    }
+    fq.note(
+        "each variant removes one ingredient from full DES: restart-rr \
+         (§IV-B strawman), static-power (no WF), efficient (Energy-OPT \
+         stretching under a binding budget)",
+    );
+    vec![fq, fe]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_des_is_never_clearly_beaten() {
+        let opt = FigOptions {
+            full: false,
+            seed: 41,
+        };
+        let reports = run(&opt);
+        let fq = &reports[0];
+        let full = fq.column_values("quality_full").unwrap();
+        for variant in [
+            "quality_restart-rr",
+            "quality_static-power",
+            "quality_efficient",
+        ] {
+            let v = fq.column_values(variant).unwrap();
+            for i in 0..full.len() {
+                assert!(
+                    full[i] + 0.02 >= v[i],
+                    "{variant} beats full DES at idx {i}: {} vs {}",
+                    v[i],
+                    full[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn efficient_mode_loses_quality_under_overload() {
+        // The DESIGN.md §3 rationale, demonstrated.
+        let opt = FigOptions {
+            full: false,
+            seed: 41,
+        };
+        let reports = run(&opt);
+        let fq = &reports[0];
+        let full = fq.column_values("quality_full").unwrap();
+        let eff = fq.column_values("quality_efficient").unwrap();
+        let n = full.len() - 1;
+        assert!(
+            full[n] > eff[n] - 1e-9,
+            "eager {} should be >= efficient {} at the heaviest load",
+            full[n],
+            eff[n]
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared machinery for the rate-sweep figures.
+//!
+//! Most of the paper's figures are a pair of panels — normalized quality
+//! vs arrival rate, and energy vs arrival rate — for a handful of labelled
+//! series. A series is any ⟨configuration, policy⟩ pair: Fig. 3/5/6/10
+//! vary the policy, Fig. 4/7/8 vary the configuration.
+
+use rayon::prelude::*;
+
+use crate::config::{run_policy, ExperimentConfig, PolicyKind};
+use crate::report::FigureReport;
+
+/// One labelled curve of a figure.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Configuration template (the arrival rate is overridden per point).
+    pub cfg: ExperimentConfig,
+    /// Policy to run.
+    pub kind: PolicyKind,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, cfg: ExperimentConfig, kind: PolicyKind) -> Self {
+        Series {
+            label: label.into(),
+            cfg,
+            kind,
+        }
+    }
+}
+
+/// Measured panel data: `quality[series][rate]`, `energy[series][rate]`.
+pub struct PanelData {
+    /// The rate grid.
+    pub rates: Vec<f64>,
+    /// Legend labels, in series order.
+    pub labels: Vec<String>,
+    /// Normalized quality per series per rate.
+    pub quality: Vec<Vec<f64>>,
+    /// Energy (J) per series per rate.
+    pub energy: Vec<Vec<f64>>,
+}
+
+impl PanelData {
+    /// Interpolated largest rate at which series `s` still reaches
+    /// `target` quality (§V-E's throughput metric).
+    pub fn throughput_at(&self, s: usize, target: f64) -> f64 {
+        let q = &self.quality[s];
+        let mut best = None;
+        for i in 1..q.len() {
+            if q[i - 1] >= target && q[i] < target {
+                let t = (q[i - 1] - target) / (q[i - 1] - q[i]);
+                best = Some(self.rates[i - 1] + t * (self.rates[i] - self.rates[i - 1]));
+            }
+        }
+        best.unwrap_or(if *q.last().unwrap() >= target {
+            *self.rates.last().unwrap()
+        } else {
+            *self.rates.first().unwrap()
+        })
+    }
+}
+
+/// Run every ⟨series, rate⟩ point in parallel.
+pub fn measure(series: &[Series], rates: &[f64], seed: u64) -> PanelData {
+    let combos: Vec<(usize, f64)> = (0..series.len())
+        .flat_map(|s| rates.iter().map(move |&r| (s, r)))
+        .collect();
+    let results: Vec<(usize, f64, f64, f64)> = combos
+        .into_par_iter()
+        .map(|(s, rate)| {
+            let cfg = series[s].cfg.clone().with_arrival_rate(rate);
+            let rep = run_policy(&cfg, series[s].kind, seed);
+            (s, rate, rep.normalized_quality(), rep.energy_joules)
+        })
+        .collect();
+    let mut quality = vec![vec![0.0; rates.len()]; series.len()];
+    let mut energy = vec![vec![0.0; rates.len()]; series.len()];
+    for (s, rate, q, e) in results {
+        let i = rates.iter().position(|&r| r == rate).unwrap();
+        quality[s][i] = q;
+        energy[s][i] = e;
+    }
+    PanelData {
+        rates: rates.to_vec(),
+        labels: series.iter().map(|s| s.label.clone()).collect(),
+        quality,
+        energy,
+    }
+}
+
+/// Build the two standard panels from measured data.
+pub fn panels(id: &str, title: &str, data: &PanelData) -> (FigureReport, FigureReport) {
+    let mut cols_q = vec!["rate".to_string()];
+    let mut cols_e = vec!["rate".to_string()];
+    for l in &data.labels {
+        cols_q.push(format!("quality_{l}"));
+        cols_e.push(format!("energy_{l}"));
+    }
+    let mut fq = FigureReport::new(&format!("{id}a"), &format!("{title} — quality"), cols_q);
+    let mut fe = FigureReport::new(&format!("{id}b"), &format!("{title} — energy"), cols_e);
+    for (i, &rate) in data.rates.iter().enumerate() {
+        let mut rq = vec![rate];
+        let mut re = vec![rate];
+        for s in 0..data.labels.len() {
+            rq.push(data.quality[s][i]);
+            re.push(data.energy[s][i]);
+        }
+        fq.push_row(rq);
+        fe.push_row(re);
+    }
+    (fq, fe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_and_panels_smoke() {
+        let base = ExperimentConfig::quick().with_sim_seconds(2.0);
+        let series = vec![
+            Series::new("DES", base.clone(), PolicyKind::Des),
+            Series::new("FCFS", base, PolicyKind::Fcfs),
+        ];
+        let data = measure(&series, &[60.0, 120.0], 1);
+        assert_eq!(data.quality.len(), 2);
+        assert_eq!(data.quality[0].len(), 2);
+        let (fq, fe) = panels("figXX", "smoke", &data);
+        assert_eq!(fq.rows.len(), 2);
+        assert_eq!(fe.columns.len(), 3);
+        assert!(fq.to_table().contains("quality_DES"));
+    }
+
+    #[test]
+    fn throughput_at_handles_flat_series() {
+        let d = PanelData {
+            rates: vec![100.0, 200.0],
+            labels: vec!["x".into()],
+            quality: vec![vec![0.99, 0.98]],
+            energy: vec![vec![0.0, 0.0]],
+        };
+        assert_eq!(d.throughput_at(0, 0.9), 200.0);
+    }
+}

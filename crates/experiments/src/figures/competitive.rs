@@ -1,0 +1,139 @@
+//! Empirical competitive study: Online-QE vs offline QE-OPT (extension).
+//!
+//! §III-B proves Online-QE *myopically* optimal but offers no competitive
+//! ratio against the clairvoyant offline optimum. This experiment
+//! measures one empirically on a single core: for many random instances,
+//! simulate the online algorithm (DES on one core reduces to Online-QE
+//! driven by the triggers) and compare its quality with QE-OPT run on the
+//! full instance. The energy ratio is reported alongside — note energy
+//! comparisons are only meaningful between runs of equal quality (the
+//! metric is lexicographic), so the headline column is the quality ratio.
+
+use rayon::prelude::*;
+
+use qes_core::quality::{ExpQuality, QualityFunction};
+use qes_core::time::{SimDuration, SimTime};
+use qes_multicore::DesPolicy;
+use qes_sim::engine::{SimConfig, Simulator};
+use qes_singlecore::qe_opt::qe_opt;
+
+use crate::config::ExperimentConfig;
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// One instance's online/offline comparison.
+fn one_instance(cfg: &ExperimentConfig, seed: u64) -> (f64, f64) {
+    let jobs = cfg.workload().generate(seed).expect("valid workload");
+    let quality = ExpQuality::new(cfg.quality_c);
+
+    // Online: one core, the paper's triggers.
+    let sim_cfg = SimConfig {
+        num_cores: 1,
+        budget: cfg.budget,
+        model: &cfg.power,
+        quality: &quality,
+        end: SimTime::from_secs_f64(cfg.sim_seconds),
+        record_trace: false,
+        overhead: SimDuration::ZERO,
+    };
+    let (online, _) = Simulator::run(&sim_cfg, &mut DesPolicy::new(), &jobs);
+
+    // Offline: clairvoyant QE-OPT over the whole instance.
+    let off = qe_opt(&jobs, &cfg.power, cfg.budget);
+    let off_quality: f64 = jobs
+        .iter()
+        .map(|j| quality.job_quality(j, off.volume(j.id)))
+        .sum();
+    let off_energy = off.schedule.energy(&cfg.power);
+
+    let q_ratio = if off_quality > 0.0 {
+        online.total_quality / off_quality
+    } else {
+        1.0
+    };
+    let e_ratio = if off_energy > 0.0 {
+        online.energy_joules / off_energy
+    } else {
+        1.0
+    };
+    (q_ratio, e_ratio)
+}
+
+/// Measure the empirical competitive behaviour over many instances at
+/// several single-core loads.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    // Offline QE-OPT is O(n³)-ish in the instance size, so full mode buys
+    // statistical power with more instances, not longer horizons.
+    let instances: u64 = if opt.full { 30 } else { 12 };
+    let horizon = if opt.full { 15.0 } else { 10.0 };
+    // Single-core at 20 W (s* = 2 GHz → 2000 units/s capacity): rates in
+    // req/s chosen to span under- to over-load.
+    let rates = [5.0, 8.0, 10.0, 13.0, 16.0];
+
+    let mut f = FigureReport::new(
+        "competitive",
+        "Online-QE vs offline QE-OPT on one core: quality/energy ratios",
+        vec![
+            "rate".into(),
+            "q_ratio_min".into(),
+            "q_ratio_mean".into(),
+            "e_ratio_mean".into(),
+        ],
+    );
+    for &rate in &rates {
+        let cfg = ExperimentConfig::paper_default()
+            .with_cores(1)
+            .with_budget(20.0)
+            .with_arrival_rate(rate)
+            .with_sim_seconds(horizon);
+        let ratios: Vec<(f64, f64)> = (0..instances)
+            .into_par_iter()
+            .map(|i| one_instance(&cfg, opt.seed.wrapping_add(i)))
+            .collect();
+        let q_min = ratios.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+        let q_mean = ratios.iter().map(|r| r.0).sum::<f64>() / ratios.len() as f64;
+        let e_mean = ratios.iter().map(|r| r.1).sum::<f64>() / ratios.len() as f64;
+        f.push_row(vec![rate, q_min, q_mean, e_mean]);
+    }
+    f.note(format!(
+        "{instances} instances per rate; q_ratio = online/offline total quality \
+         (1.0 = matches the clairvoyant optimum)"
+    ));
+    f.note(
+        "the energy ratio can sit below or above 1: the online runs at \
+         different quality, so only equal-quality rows compare energies \
+         meaningfully (lexicographic metric)",
+    );
+    f.note(
+        "the ~5–10% myopia gap on ONE core is the classic online lower-bound \
+         effect (work stretched toward deadlines gets squeezed by arrivals \
+         the scheduler couldn't foresee); on 16 cores statistical smoothing \
+         shrinks it below 5% (see tests/online_vs_offline.rs)",
+    );
+    vec![f]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stays_close_to_clairvoyant_on_single_core() {
+        let opt = FigOptions {
+            full: false,
+            seed: 77,
+        };
+        let f = &run(&opt)[0];
+        let q_min = f.column_values("q_ratio_min").unwrap();
+        let q_mean = f.column_values("q_ratio_mean").unwrap();
+        for i in 0..q_min.len() {
+            // The myopia gap is real — an online algorithm stretches work
+            // it doesn't know will be squeezed by future arrivals — but it
+            // stays bounded: worst instance ≥ 70 %, mean ≥ 85 %.
+            assert!(q_min[i] > 0.70, "rate idx {i}: min ratio {}", q_min[i]);
+            assert!(q_mean[i] > 0.85, "rate idx {i}: mean ratio {}", q_mean[i]);
+            // And never (meaningfully) above 1: offline is optimal.
+            assert!(q_mean[i] < 1.0 + 1e-6);
+        }
+    }
+}

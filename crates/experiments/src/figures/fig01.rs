@@ -1,0 +1,22 @@
+//! Fig. 1 — the example quality function.
+use crate::report::FigureReport;
+use qes_core::quality::{ExpQuality, QualityFunction};
+
+/// Tabulate the paper's default quality function over [0, 1000] units.
+pub fn run() -> FigureReport {
+    let q = ExpQuality::PAPER_DEFAULT;
+    let mut f = FigureReport::new(
+        "fig01",
+        "Example quality function (c = 0.003)",
+        vec!["processing_units".into(), "quality".into()],
+    );
+    for i in 0..=20 {
+        let x = i as f64 * 50.0;
+        f.push_row(vec![x, q.value(x)]);
+    }
+    f.note(format!(
+        "q(500) = {:.3}; q(1000) = 1 by normalization",
+        q.value(500.0)
+    ));
+    f
+}

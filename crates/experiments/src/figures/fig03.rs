@@ -1,0 +1,77 @@
+//! Fig. 3 — quality and energy of DES on the three architectures (§V-C).
+//!
+//! Expected shape (paper): C-DVFS achieves the highest quality at every
+//! load and the lowest energy; S-DVFS saves ≥ 35.6 % of dynamic energy
+//! against No-DVFS at light load and C-DVFS a further ~6.8 %; under heavy
+//! load the three architectures converge in both metrics.
+
+use crate::config::{ExperimentConfig, PolicyKind};
+use crate::figures::common::{measure, panels, Series};
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// Regenerate Fig. 3.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    let base = ExperimentConfig::paper_default().with_sim_seconds(opt.sim_seconds());
+    let series = vec![
+        Series::new("C-DVFS", base.clone(), PolicyKind::Des),
+        Series::new("S-DVFS", base.clone(), PolicyKind::DesSDvfs),
+        Series::new("No-DVFS", base, PolicyKind::DesNoDvfs),
+    ];
+    let data = measure(&series, &opt.rates(), opt.seed);
+    let (mut fq, mut fe) = panels("fig03", "DES on No-/S-/C-DVFS architectures", &data);
+
+    // §V-C headline numbers at the lightest measured load.
+    let e_c = data.energy[0][0];
+    let e_s = data.energy[1][0];
+    let e_n = data.energy[2][0];
+    if e_n > 0.0 && e_s > 0.0 {
+        let s_saving = 100.0 * (1.0 - e_s / e_n);
+        let c_saving = 100.0 * (1.0 - e_c / e_s);
+        fe.note(format!(
+            "light load ({} req/s): S-DVFS saves {s_saving:.1}% of dynamic energy vs \
+             No-DVFS (paper: ≥35.6%); C-DVFS saves a further {c_saving:.1}% (paper: ~6.8%)",
+            data.rates[0]
+        ));
+    }
+    let q_gap = 100.0 * (data.quality[0][0] - data.quality[1][0].max(data.quality[2][0]));
+    fq.note(format!(
+        "light load: C-DVFS quality exceeds S-/No-DVFS by {q_gap:.2} pp (paper: ~2%)"
+    ));
+    vec![fq, fe]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_ordering_holds() {
+        let opt = FigOptions {
+            full: false,
+            seed: 7,
+        };
+        let reports = run(&opt);
+        let fq = &reports[0];
+        let fe = &reports[1];
+        let qc = fq.column_values("quality_C-DVFS").unwrap();
+        let qs = fq.column_values("quality_S-DVFS").unwrap();
+        let qn = fq.column_values("quality_No-DVFS").unwrap();
+        // C-DVFS at least matches the others at every rate.
+        for i in 0..qc.len() {
+            assert!(
+                qc[i] + 0.01 >= qs[i],
+                "rate index {i}: {} vs {}",
+                qc[i],
+                qs[i]
+            );
+            assert!(qc[i] + 0.01 >= qn[i], "rate index {i}");
+        }
+        // Energy at light load: No-DVFS > S-DVFS > C-DVFS.
+        let ec = fe.column_values("energy_C-DVFS").unwrap();
+        let es = fe.column_values("energy_S-DVFS").unwrap();
+        let en = fe.column_values("energy_No-DVFS").unwrap();
+        assert!(en[0] > es[0], "No-DVFS {} !> S-DVFS {}", en[0], es[0]);
+        assert!(es[0] > ec[0], "S-DVFS {} !> C-DVFS {}", es[0], ec[0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 4 — DES with different proportions of partial-evaluation support
+//! (§V-D).
+//!
+//! Expected shape (paper): more partial-evaluatable jobs ⇒ higher quality
+//! at the same load and more energy (more useful work gets done); at
+//! quality 0.9 the 100 % case supports ~194 req/s vs ~168 (50 %) and
+//! ~158 (0 %).
+
+use crate::config::{ExperimentConfig, PolicyKind};
+use crate::figures::common::{measure, panels, Series};
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// Regenerate Fig. 4.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    let base = ExperimentConfig::paper_default().with_sim_seconds(opt.sim_seconds());
+    let series = vec![
+        Series::new(
+            "0%",
+            base.clone().with_partial_fraction(0.0),
+            PolicyKind::Des,
+        ),
+        Series::new(
+            "50%",
+            base.clone().with_partial_fraction(0.5),
+            PolicyKind::Des,
+        ),
+        Series::new("100%", base.with_partial_fraction(1.0), PolicyKind::Des),
+    ];
+    let data = measure(&series, &opt.rates(), opt.seed);
+    let (mut fq, fe) = panels(
+        "fig04",
+        "DES with 0/50/100% partial-evaluation support",
+        &data,
+    );
+    let t0 = data.throughput_at(0, 0.9);
+    let t50 = data.throughput_at(1, 0.9);
+    let t100 = data.throughput_at(2, 0.9);
+    fq.note(format!(
+        "throughput at quality 0.9: 100% = {t100:.0} req/s, 50% = {t50:.0}, 0% = {t0:.0} \
+         (paper: 194 / 168 / 158)"
+    ));
+    vec![fq, fe]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_partial_support_means_more_quality() {
+        let opt = FigOptions {
+            full: false,
+            seed: 5,
+        };
+        let reports = run(&opt);
+        let fq = &reports[0];
+        let q0 = fq.column_values("quality_0%").unwrap();
+        let q50 = fq.column_values("quality_50%").unwrap();
+        let q100 = fq.column_values("quality_100%").unwrap();
+        // At the heavier rates the ordering must be strict.
+        let n = q0.len();
+        for i in (n - 2)..n {
+            assert!(
+                q100[i] >= q50[i] - 0.01,
+                "idx {i}: {} vs {}",
+                q100[i],
+                q50[i]
+            );
+            assert!(q50[i] >= q0[i] - 0.01, "idx {i}: {} vs {}", q50[i], q0[i]);
+        }
+        assert!(
+            q100[n - 1] > q0[n - 1] + 0.02,
+            "100% should clearly beat 0% under heavy load: {} vs {}",
+            q100[n - 1],
+            q0[n - 1]
+        );
+    }
+}

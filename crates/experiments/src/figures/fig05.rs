@@ -1,0 +1,73 @@
+//! Fig. 5 — DES vs FCFS / LJF / SJF with static power sharing (§V-E).
+//!
+//! Expected shape (paper): DES has the best quality at every load (≈ 2 pp
+//! better even at light load); FCFS beats LJF and SJF; SJF is worst and
+//! its energy *falls* under overload (it keeps running short jobs slowly
+//! and drops the long ones). Throughput at quality 0.9: DES ≈ 196 req/s
+//! vs FCFS 164, LJF 132, SJF 116 — +20 % / +48 % / +69 %.
+
+use crate::config::{ExperimentConfig, PolicyKind};
+use crate::figures::common::{measure, panels, Series};
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// Regenerate Fig. 5.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    let base = ExperimentConfig::paper_default().with_sim_seconds(opt.sim_seconds());
+    let series = vec![
+        Series::new("DES", base.clone(), PolicyKind::Des),
+        Series::new("FCFS", base.clone(), PolicyKind::Fcfs),
+        Series::new("LJF", base.clone(), PolicyKind::Ljf),
+        Series::new("SJF", base, PolicyKind::Sjf),
+    ];
+    let data = measure(&series, &opt.rates(), opt.seed);
+    let (mut fq, fe) = panels("fig05", "DES vs FCFS/LJF/SJF (static power sharing)", &data);
+    let t: Vec<f64> = (0..4).map(|s| data.throughput_at(s, 0.9)).collect();
+    fq.note(format!(
+        "throughput at quality 0.9: DES {:.0}, FCFS {:.0}, LJF {:.0}, SJF {:.0} req/s \
+         (paper: 196 / 164 / 132 / 116)",
+        t[0], t[1], t[2], t[3]
+    ));
+    if t[1] > 0.0 {
+        fq.note(format!(
+            "DES throughput advantage: +{:.0}% vs FCFS, +{:.0}% vs LJF, +{:.0}% vs SJF \
+             (paper: +20% / +48% / +69%)",
+            100.0 * (t[0] / t[1] - 1.0),
+            100.0 * (t[0] / t[2] - 1.0),
+            100.0 * (t[0] / t[3] - 1.0)
+        ));
+    }
+    vec![fq, fe]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn des_dominates_and_ordering_matches_paper() {
+        let opt = FigOptions {
+            full: false,
+            seed: 11,
+        };
+        let reports = run(&opt);
+        let fq = &reports[0];
+        let qd = fq.column_values("quality_DES").unwrap();
+        let qf = fq.column_values("quality_FCFS").unwrap();
+        let ql = fq.column_values("quality_LJF").unwrap();
+        let qs = fq.column_values("quality_SJF").unwrap();
+        for i in 0..qd.len() {
+            assert!(qd[i] + 0.01 >= qf[i], "DES vs FCFS at idx {i}");
+            assert!(qd[i] + 0.01 >= ql[i], "DES vs LJF at idx {i}");
+            assert!(qd[i] + 0.01 >= qs[i], "DES vs SJF at idx {i}");
+        }
+        // Under the heaviest load FCFS clearly beats SJF (paper ordering).
+        let n = qd.len();
+        assert!(
+            qf[n - 1] > qs[n - 1],
+            "FCFS {} !> SJF {}",
+            qf[n - 1],
+            qs[n - 1]
+        );
+    }
+}

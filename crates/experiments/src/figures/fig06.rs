@@ -1,0 +1,61 @@
+//! Fig. 6 — DES vs the WF-enhanced baselines (§V-E).
+//!
+//! Expected shape (paper): with WF power distribution all baselines reach
+//! nearly full quality at light load (a big step up from Fig. 5), but DES
+//! keeps its advantage as load grows — it schedules the whole ready queue
+//! jointly where the baselines pick one job at a time.
+
+use crate::config::{ExperimentConfig, PolicyKind};
+use crate::figures::common::{measure, panels, Series};
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// Regenerate Fig. 6.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    let base = ExperimentConfig::paper_default().with_sim_seconds(opt.sim_seconds());
+    let series = vec![
+        Series::new("DES", base.clone(), PolicyKind::Des),
+        Series::new("FCFS+WF", base.clone(), PolicyKind::FcfsWf),
+        Series::new("LJF+WF", base.clone(), PolicyKind::LjfWf),
+        Series::new("SJF+WF", base, PolicyKind::SjfWf),
+    ];
+    let data = measure(&series, &opt.rates(), opt.seed);
+    let (mut fq, fe) = panels("fig06", "DES vs WF-enhanced baselines", &data);
+    let light_gap: Vec<f64> = (1..4)
+        .map(|s| data.quality[0][0] - data.quality[s][0])
+        .collect();
+    fq.note(format!(
+        "light-load quality gap DES−baseline: {:.3} / {:.3} / {:.3} \
+         (paper: near zero — WF lifts every baseline to almost full quality)",
+        light_gap[0], light_gap[1], light_gap[2]
+    ));
+    let n = data.rates.len() - 1;
+    fq.note(format!(
+        "heavy-load quality: DES {:.3} vs FCFS+WF {:.3}, LJF+WF {:.3}, SJF+WF {:.3} \
+         (paper: DES maintains its advantage)",
+        data.quality[0][n], data.quality[1][n], data.quality[2][n], data.quality[3][n]
+    ));
+    vec![fq, fe]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wf_lifts_baselines_at_light_load_but_des_wins_heavy() {
+        let opt = FigOptions {
+            full: false,
+            seed: 13,
+        };
+        let reports = run(&opt);
+        let fq = &reports[0];
+        let qd = fq.column_values("quality_DES").unwrap();
+        let qf = fq.column_values("quality_FCFS+WF").unwrap();
+        // Light load: FCFS+WF near full quality.
+        assert!(qf[0] > 0.95, "FCFS+WF light-load quality {}", qf[0]);
+        // Heavy load: DES at least matches FCFS+WF.
+        let n = qd.len() - 1;
+        assert!(qd[n] + 0.01 >= qf[n], "{} vs {}", qd[n], qf[n]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 7 — sensitivity to the quality function's concavity (§V-F).
+//!
+//! Panel (a) tabulates the quality family of Eq. (1) for the paper's six
+//! values of `c`; panel (b) runs DES under each and shows that a more
+//! concave function (larger `c`) earns more quality from the same
+//! schedule, while energy is unaffected by the quality function.
+
+use qes_core::quality::{ExpQuality, QualityFunction};
+
+use crate::config::{ExperimentConfig, PolicyKind};
+use crate::figures::common::{measure, panels, Series};
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// The paper's sweep of concavity constants.
+pub const C_VALUES: [f64; 6] = [0.009, 0.005, 0.003, 0.002, 0.001, 0.0005];
+
+/// Regenerate Fig. 7 (both panels).
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    // Panel (a): the function shapes.
+    let mut fa = FigureReport::new(
+        "fig07a",
+        "Quality functions q(x) for different concavity constants c",
+        std::iter::once("x".to_string())
+            .chain(C_VALUES.iter().map(|c| format!("c={c}")))
+            .collect(),
+    );
+    for i in 0..=20 {
+        let x = i as f64 * 50.0;
+        let mut row = vec![x];
+        for &c in &C_VALUES {
+            row.push(ExpQuality::new(c).value(x));
+        }
+        fa.push_row(row);
+    }
+    fa.note("larger c ⇒ more concave ⇒ more quality from the same partial volume");
+
+    // Panel (b): DES quality under each function.
+    let base = ExperimentConfig::paper_default().with_sim_seconds(opt.sim_seconds());
+    let series: Vec<Series> = C_VALUES
+        .iter()
+        .map(|&c| {
+            Series::new(
+                format!("c={c}"),
+                base.clone().with_quality_c(c),
+                PolicyKind::Des,
+            )
+        })
+        .collect();
+    let data = measure(&series, &opt.rates(), opt.seed);
+    let (mut fb, fe) = panels(
+        "fig07b",
+        "DES quality under different quality functions",
+        &data,
+    );
+
+    // Energy is independent of the quality function under overload-free
+    // identical schedules; report the spread.
+    let n = data.rates.len();
+    let mut max_spread: f64 = 0.0;
+    for i in 0..n {
+        let es: Vec<f64> = (0..C_VALUES.len()).map(|s| data.energy[s][i]).collect();
+        let lo = es.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = es.iter().cloned().fold(0.0, f64::max);
+        if lo > 0.0 {
+            max_spread = max_spread.max(hi / lo - 1.0);
+        }
+    }
+    fb.note(format!(
+        "energy spread across quality functions ≤ {:.2}% (paper: energy unaffected)",
+        100.0 * max_spread
+    ));
+    vec![fa, fb, fe]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_c_earns_more_quality_under_load() {
+        let opt = FigOptions {
+            full: false,
+            seed: 17,
+        };
+        let reports = run(&opt);
+        let fb = &reports[1];
+        let hi = fb.column_values("quality_c=0.009").unwrap();
+        let lo = fb.column_values("quality_c=0.0005").unwrap();
+        // At the heaviest load the concave advantage must be visible.
+        let n = hi.len() - 1;
+        assert!(
+            hi[n] > lo[n] + 0.02,
+            "c=0.009 {} vs c=0.0005 {}",
+            hi[n],
+            lo[n]
+        );
+    }
+
+    #[test]
+    fn panel_a_shapes_are_ordered() {
+        let opt = FigOptions::default();
+        let fa = &run(&opt)[0];
+        // At x=250 the most concave function dominates the least concave.
+        let row = fa.rows.iter().find(|r| r.cells[0] == 250.0).unwrap();
+        let q_hi = row.cells[1]; // c=0.009 column
+        let q_lo = *row.cells.last().unwrap(); // c=0.0005 column
+        assert!(q_hi > q_lo);
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 8 — sensitivity to the power budget (§V-F).
+//!
+//! Expected shape (paper): more budget sustains higher load at the same
+//! quality (and costs more energy); at light load extra budget is
+//! unnecessary; energy grows with load until the budget saturates, after
+//! which quality degrades instead.
+
+use crate::config::{ExperimentConfig, PolicyKind};
+use crate::figures::common::{measure, panels, Series};
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// The paper's budget sweep (W).
+pub const BUDGETS: [f64; 5] = [80.0, 160.0, 320.0, 480.0, 640.0];
+
+/// Regenerate Fig. 8.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    let base = ExperimentConfig::paper_default().with_sim_seconds(opt.sim_seconds());
+    let series: Vec<Series> = BUDGETS
+        .iter()
+        .map(|&h| {
+            Series::new(
+                format!("H={h:.0}"),
+                base.clone().with_budget(h),
+                PolicyKind::Des,
+            )
+        })
+        .collect();
+    let data = measure(&series, &opt.rates(), opt.seed);
+    let (mut fq, mut fe) = panels("fig08", "DES under different power budgets", &data);
+    let n = data.rates.len() - 1;
+    fq.note(format!(
+        "heavy load ({} req/s): quality rises with budget — {}",
+        data.rates[n],
+        BUDGETS
+            .iter()
+            .enumerate()
+            .map(|(s, h)| format!("H={h:.0}: {:.3}", data.quality[s][n]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    for (s, &h) in BUDGETS.iter().enumerate() {
+        // The engine drains in-flight jobs ≤ one relative deadline past
+        // the horizon, so the cap window is sim_seconds + 0.15 s.
+        let cap = h * (base.sim_seconds + 0.15);
+        let peak = data.energy[s].iter().cloned().fold(0.0, f64::max);
+        fe.note(format!(
+            "H={h:.0}: peak energy {:.0} J ≤ budget·time {:.0} J ({:.0}% of cap)",
+            peak,
+            cap,
+            100.0 * peak / cap
+        ));
+    }
+    vec![fq, fe]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_budget_more_quality_under_heavy_load() {
+        let opt = FigOptions {
+            full: false,
+            seed: 23,
+        };
+        let reports = run(&opt);
+        let fq = &reports[0];
+        let q80 = fq.column_values("quality_H=80").unwrap();
+        let q320 = fq.column_values("quality_H=320").unwrap();
+        let q640 = fq.column_values("quality_H=640").unwrap();
+        let n = q80.len() - 1;
+        assert!(q320[n] > q80[n] + 0.02, "{} vs {}", q320[n], q80[n]);
+        assert!(q640[n] + 0.01 >= q320[n], "{} vs {}", q640[n], q320[n]);
+        // Light load: big budgets are unnecessary (quality already ~full).
+        assert!(q320[0] > 0.97 && q640[0] > 0.97);
+    }
+
+    #[test]
+    fn energy_respects_each_budget_cap() {
+        let opt = FigOptions {
+            full: false,
+            seed: 23,
+        };
+        let reports = run(&opt);
+        let fe = &reports[1];
+        for (s, &h) in BUDGETS.iter().enumerate() {
+            let col = &fe.columns[s + 1];
+            let vals = fe.column_values(col).unwrap();
+            let cap = h * (opt.sim_seconds() + 0.15);
+            for v in vals {
+                assert!(v <= cap + 1e-6, "H={h}: {v} > {cap}");
+            }
+        }
+    }
+}

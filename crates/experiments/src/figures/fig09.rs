@@ -1,0 +1,83 @@
+//! Fig. 9 — sensitivity to the number of cores (§V-F).
+//!
+//! With the total budget held at 320 W and the arrival rate at 90 req/s,
+//! the paper sweeps m = 2^x cores. Expected shape: few fat cores obtain
+//! limited quality at great energy cost (convex power: one fast core is
+//! far less efficient than many slow ones); both metrics improve with
+//! more cores until parallelism saturates around 16 cores.
+
+use rayon::prelude::*;
+
+use crate::config::{run_policy, ExperimentConfig, PolicyKind};
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// The paper's core-count sweep.
+pub const CORE_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The fixed arrival rate of the sweep.
+pub const RATE: f64 = 90.0;
+
+/// Regenerate Fig. 9.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    let base = ExperimentConfig::paper_default()
+        .with_sim_seconds(opt.sim_seconds())
+        .with_arrival_rate(RATE);
+    let rows: Vec<(usize, f64, f64)> = CORE_COUNTS
+        .par_iter()
+        .map(|&m| {
+            let rep = run_policy(&base.clone().with_cores(m), PolicyKind::Des, opt.seed);
+            (m, rep.normalized_quality(), rep.energy_joules)
+        })
+        .collect();
+    let mut f = FigureReport::new(
+        "fig09",
+        "DES quality and energy vs number of cores (rate 90 req/s, H = 320 W)",
+        vec!["cores".into(), "quality".into(), "energy".into()],
+    );
+    for &(m, q, e) in &rows {
+        f.push_row(vec![m as f64, q, e]);
+    }
+    let q16 = rows.iter().find(|r| r.0 == 16).map(|r| r.1).unwrap_or(0.0);
+    let q64 = rows.iter().find(|r| r.0 == 64).map(|r| r.1).unwrap_or(0.0);
+    f.note(format!(
+        "16 cores already sustain quality {q16:.3}; 64 cores add only {:+.3} \
+         (paper: saturation at 16 cores)",
+        q64 - q16
+    ));
+    vec![f]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_improves_then_saturates_with_cores() {
+        let opt = FigOptions {
+            full: false,
+            seed: 29,
+        };
+        let f = &run(&opt)[0];
+        let q = f.column_values("quality").unwrap();
+        let e = f.column_values("energy").unwrap();
+        // 1 core is much worse than 16 in quality and costs more energy.
+        let i1 = 0;
+        let i16 = CORE_COUNTS.iter().position(|&m| m == 16).unwrap();
+        assert!(
+            q[i16] > q[i1] + 0.1,
+            "16 cores {} vs 1 core {}",
+            q[i16],
+            q[i1]
+        );
+        assert!(
+            e[i1] > e[i16],
+            "1-core energy {} should exceed 16-core {}",
+            e[i1],
+            e[i16]
+        );
+        // Saturation: 64 cores no more than marginally better than 16.
+        let i64c = CORE_COUNTS.iter().position(|&m| m == 64).unwrap();
+        assert!((q[i64c] - q[i16]).abs() < 0.05);
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 11 — simulation vs (simulated) real-system energy (§V-G).
+//!
+//! The paper replays DES discrete-speed schedules on an Opteron cluster
+//! and compares PowerPack-measured energy against the simulator's
+//! prediction under the regression-fitted power model
+//! `P = 2.6075·s^1.791 + 9.2562` with a 152 W budget. Our real system is
+//! the `qes-cluster` substrate (see DESIGN.md, *Substitutions*): the same
+//! trace is integrated exactly (simulation) and sampled through a noisy
+//! metered replay with scheduling overhead (real). Expected shape: the
+//! two curves nearly coincide, the measured one marginally higher.
+
+use qes_cluster::meter::PowerMeter;
+use qes_cluster::regression::{fit_power_model, opteron_pairs};
+use qes_cluster::replay::{exact_energy, measured_energy};
+use qes_cluster::spec::ClusterSpec;
+use qes_core::power::{DiscreteSpeedSet, PolynomialPower};
+use qes_core::time::SimTime;
+use rayon::prelude::*;
+
+use crate::config::{run_policy_traced, ExperimentConfig, PolicyKind};
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+/// The §V-G dynamic power budget (W).
+pub const BUDGET: f64 = 152.0;
+
+/// Regenerate Fig. 11.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    // The paper's regression methodology: fit the model from the measured
+    // speed/power table, then drive the simulation with the fit.
+    let fit = fit_power_model(&opteron_pairs()).expect("Opteron table fits");
+    let model = PolynomialPower {
+        b: 0.0,
+        ..fit.model
+    }; // scheduler sees dynamic power
+    let cluster = ClusterSpec::paper_validation();
+    let horizon = SimTime::from_secs_f64(opt.validation_seconds());
+    let meter = PowerMeter::default();
+
+    let rows: Vec<(f64, f64, f64)> = opt
+        .validation_rates()
+        .into_par_iter()
+        .map(|rate| {
+            let cfg = ExperimentConfig {
+                num_cores: cluster.total_cores(),
+                budget: BUDGET,
+                power: model,
+                ladder: Some(DiscreteSpeedSet::opteron_2380()),
+                ..ExperimentConfig::paper_default()
+            }
+            .with_arrival_rate(rate)
+            .with_sim_seconds(opt.validation_seconds());
+            let (_, trace) = run_policy_traced(&cfg, PolicyKind::DesDiscrete, opt.seed);
+            let sim = exact_energy(&trace, &cluster, horizon);
+            let real = measured_energy(&trace, &cluster, horizon, &meter);
+            (rate, sim, real)
+        })
+        .collect();
+
+    let mut f = FigureReport::new(
+        "fig11",
+        "Energy: simulation vs (simulated) real system (H = 152 W, Opteron table)",
+        vec![
+            "rate".into(),
+            "sim_energy".into(),
+            "real_energy".into(),
+            "real_over_sim".into(),
+        ],
+    );
+    let mut max_rel: f64 = 0.0;
+    for &(rate, sim, real) in &rows {
+        let ratio = if sim > 0.0 { real / sim } else { 1.0 };
+        max_rel = max_rel.max((ratio - 1.0).abs());
+        f.push_row(vec![rate, sim, real, ratio]);
+    }
+    f.note(format!(
+        "fitted model: a = {:.4}, β = {:.3}, b = {:.4} (paper: 2.6075 / 1.791 / 9.2562)",
+        fit.model.a, fit.model.beta, fit.model.b
+    ));
+    f.note(format!(
+        "max |real/sim − 1| = {:.1}% (paper: curves very close; real slightly higher \
+         from scheduling overhead)",
+        100.0 * max_rel
+    ));
+    vec![f]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_and_measurement_agree_closely() {
+        let opt = FigOptions {
+            full: false,
+            seed: 37,
+        };
+        let f = &run(&opt)[0];
+        let sim = f.column_values("sim_energy").unwrap();
+        let real = f.column_values("real_energy").unwrap();
+        for i in 0..sim.len() {
+            assert!(sim[i] > 0.0);
+            let rel = (real[i] - sim[i]).abs() / sim[i];
+            assert!(rel < 0.05, "row {i}: sim {} vs real {}", sim[i], real[i]);
+            // Scheduling overhead keeps the measured side on top.
+            assert!(real[i] > sim[i] * 0.999, "row {i}");
+        }
+    }
+
+    #[test]
+    fn energy_grows_with_arrival_rate() {
+        let opt = FigOptions {
+            full: false,
+            seed: 37,
+        };
+        let f = &run(&opt)[0];
+        let sim = f.column_values("sim_energy").unwrap();
+        assert!(
+            sim.last().unwrap() > sim.first().unwrap(),
+            "energy should grow with load: {sim:?}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! One module per paper figure. Each exposes `run(...) -> Vec<FigureReport>`
+//! (most take [`FigOptions`]; the two analytic figures take nothing).
+
+pub mod ablation;
+pub mod common;
+pub mod competitive;
+pub mod demand_dist;
+pub mod diurnal;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod tail;
+pub mod triggers;
+
+/// Shared knobs for the simulation-backed figures.
+#[derive(Clone, Copy, Debug)]
+pub struct FigOptions {
+    /// Paper-scale runs (1800 s horizon, fine rate grid) vs quick runs
+    /// (30 s horizon, coarse grid) for CI and smoke tests.
+    pub full: bool,
+    /// Workload seed; all policies at one rate share the same job stream.
+    pub seed: u64,
+}
+
+impl Default for FigOptions {
+    fn default() -> Self {
+        FigOptions {
+            full: false,
+            seed: 42,
+        }
+    }
+}
+
+impl FigOptions {
+    /// Simulated horizon in seconds.
+    pub fn sim_seconds(&self) -> f64 {
+        if self.full {
+            1800.0
+        } else {
+            30.0
+        }
+    }
+
+    /// The arrival-rate grid of the paper's x-axes (80–260 req/s).
+    pub fn rates(&self) -> Vec<f64> {
+        if self.full {
+            (0..=9).map(|i| 80.0 + 20.0 * i as f64).collect()
+        } else {
+            vec![80.0, 120.0, 160.0, 200.0, 240.0]
+        }
+    }
+
+    /// The §V-G validation rate grid (40–120 req/s).
+    pub fn validation_rates(&self) -> Vec<f64> {
+        if self.full {
+            vec![40.0, 60.0, 80.0, 100.0, 120.0]
+        } else {
+            vec![40.0, 80.0, 120.0]
+        }
+    }
+
+    /// The §V-G horizon ("the simulation time for each arrival rate is
+    /// 10 min").
+    pub fn validation_seconds(&self) -> f64 {
+        if self.full {
+            600.0
+        } else {
+            30.0
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Trigger-sensitivity study (extension; quantifies §IV-E's design talk).
+//!
+//! The paper adopts Grouped Scheduling with three triggers (500 ms
+//! quantum, counter of 8, idle-core) and argues it "reduces scheduling
+//! overhead \[and\] helps to improve the quality of scheduling decision by
+//! considering multiple requests together" — but doesn't plot the
+//! sensitivity. This experiment sweeps the quantum and the counter and
+//! reports quality, energy, and how often the scheduler actually ran.
+
+use rayon::prelude::*;
+
+use qes_core::quality::ExpQuality;
+use qes_core::time::{SimDuration, SimTime};
+use qes_multicore::{DesPolicy, TriggerRequest};
+use qes_sim::engine::{SimConfig, Simulator};
+
+use crate::config::ExperimentConfig;
+use crate::figures::FigOptions;
+use crate::report::FigureReport;
+
+fn run_with_triggers(cfg: &ExperimentConfig, trig: TriggerRequest, seed: u64) -> (f64, f64, u64) {
+    run_with_triggers_overhead(cfg, trig, seed, SimDuration::ZERO)
+}
+
+fn run_with_triggers_overhead(
+    cfg: &ExperimentConfig,
+    trig: TriggerRequest,
+    seed: u64,
+    overhead: SimDuration,
+) -> (f64, f64, u64) {
+    let jobs = cfg.workload().generate(seed).expect("valid workload");
+    let quality = ExpQuality::new(cfg.quality_c);
+    let sim_cfg = SimConfig {
+        num_cores: cfg.num_cores,
+        budget: cfg.budget,
+        model: &cfg.power,
+        quality: &quality,
+        end: SimTime::from_secs_f64(cfg.sim_seconds),
+        record_trace: false,
+        overhead,
+    };
+    let mut policy = DesPolicy::new().with_triggers(trig);
+    let (rep, _) = Simulator::run(&sim_cfg, &mut policy, &jobs);
+    (rep.normalized_quality(), rep.energy_joules, rep.invocations)
+}
+
+/// Sweep the §IV-E trigger parameters at a moderately heavy load.
+pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
+    let cfg = ExperimentConfig::paper_default()
+        .with_arrival_rate(170.0)
+        .with_sim_seconds(if opt.full { 300.0 } else { 30.0 });
+
+    // Counter sweep (quantum fixed at the paper's 500 ms).
+    let counters: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
+    let mut fc = FigureReport::new(
+        "triggersa",
+        "Counter-trigger sweep (quantum 500 ms, idle-core on, 170 req/s)",
+        vec![
+            "counter".into(),
+            "quality".into(),
+            "energy".into(),
+            "invocations_per_sec".into(),
+        ],
+    );
+    let rows: Vec<(usize, f64, f64, u64)> = counters
+        .par_iter()
+        .map(|&c| {
+            let trig = TriggerRequest {
+                counter: Some(c),
+                ..TriggerRequest::paper_default()
+            };
+            let (q, e, inv) = run_with_triggers(&cfg, trig, opt.seed);
+            (c, q, e, inv)
+        })
+        .collect();
+    for &(c, q, e, inv) in &rows {
+        fc.push_row(vec![c as f64, q, e, inv as f64 / cfg.sim_seconds]);
+    }
+    fc.note(
+        "counter 1 ≈ Immediate Scheduling: most invocations, marginal quality \
+         difference; the paper's 8 batches arrivals at a fraction of the cost",
+    );
+
+    // Quantum sweep (counter fixed at 8).
+    let quanta_ms: Vec<u64> = vec![50, 125, 250, 500, 1000, 2000];
+    let mut fq = FigureReport::new(
+        "triggersb",
+        "Quantum-trigger sweep (counter 8, idle-core on, 170 req/s)",
+        vec![
+            "quantum_ms".into(),
+            "quality".into(),
+            "energy".into(),
+            "invocations_per_sec".into(),
+        ],
+    );
+    let rows: Vec<(u64, f64, f64, u64)> = quanta_ms
+        .par_iter()
+        .map(|&ms| {
+            let trig = TriggerRequest {
+                quantum: Some(SimDuration::from_millis(ms)),
+                ..TriggerRequest::paper_default()
+            };
+            let (q, e, inv) = run_with_triggers(&cfg, trig, opt.seed);
+            (ms, q, e, inv)
+        })
+        .collect();
+    for &(ms, q, e, inv) in &rows {
+        fq.push_row(vec![ms as f64, q, e, inv as f64 / cfg.sim_seconds]);
+    }
+    fq.note(
+        "with the counter and idle triggers active, the quantum is a backstop: \
+         quality barely moves across a 40× quantum range (§IV-E robustness)",
+    );
+
+    // Overhead sweep: with a per-invocation stall, Immediate Scheduling
+    // (counter 1) pays for its invocation count — the §IV-E argument for
+    // grouped scheduling, measured.
+    let overheads_us: Vec<u64> = vec![0, 100, 500, 2000];
+    let mut fo = FigureReport::new(
+        "triggersc",
+        "Scheduling overhead: IS (counter 1) vs GS (counter 8) quality",
+        vec![
+            "overhead_us".into(),
+            "quality_is".into(),
+            "quality_gs".into(),
+        ],
+    );
+    let rows: Vec<(u64, f64, f64)> = overheads_us
+        .par_iter()
+        .map(|&us| {
+            let ov = SimDuration::from_micros(us);
+            let is_trig = TriggerRequest {
+                counter: Some(1),
+                ..TriggerRequest::paper_default()
+            };
+            let gs_trig = TriggerRequest::paper_default();
+            let (q_is, _, _) = run_with_triggers_overhead(&cfg, is_trig, opt.seed, ov);
+            let (q_gs, _, _) = run_with_triggers_overhead(&cfg, gs_trig, opt.seed, ov);
+            (us, q_is, q_gs)
+        })
+        .collect();
+    for &(us, q_is, q_gs) in &rows {
+        fo.push_row(vec![us as f64, q_is, q_gs]);
+    }
+    fo.note(
+        "GS's advantage grows with the per-invocation cost: IS stalls the \
+         cores on every arrival, GS once per batch",
+    );
+    vec![fc, fq, fo]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_one_costs_invocations_not_quality() {
+        let opt = FigOptions {
+            full: false,
+            seed: 53,
+        };
+        let reports = run(&opt);
+        let fc = &reports[0];
+        let q = fc.column_values("quality").unwrap();
+        let inv = fc.column_values("invocations_per_sec").unwrap();
+        // Counter 1 (IS) invokes far more often than counter 8.
+        assert!(inv[0] > 1.5 * inv[3], "{} vs {}", inv[0], inv[3]);
+        // The paper's counter of 8 gives up at most ~2 pp against IS.
+        assert!(
+            q[3] > q[0] - 0.02,
+            "counter 8 {} vs counter 1 {}",
+            q[3],
+            q[0]
+        );
+    }
+
+    #[test]
+    fn overhead_punishes_immediate_scheduling() {
+        let opt = FigOptions {
+            full: false,
+            seed: 53,
+        };
+        let reports = run(&opt);
+        let fo = &reports[2];
+        let q_is = fo.column_values("quality_is").unwrap();
+        let q_gs = fo.column_values("quality_gs").unwrap();
+        // With zero overhead the two are close; at 2 ms per invocation the
+        // grouped scheduler must clearly win.
+        let n = q_is.len() - 1;
+        assert!(
+            q_gs[n] > q_is[n] + 0.01,
+            "GS {} should beat IS {} at 2 ms overhead",
+            q_gs[n],
+            q_is[n]
+        );
+        // And GS degrades less from its own zero-overhead point than IS.
+        assert!((q_gs[0] - q_gs[n]) < (q_is[0] - q_is[n]) + 1e-9);
+    }
+
+    #[test]
+    fn quantum_is_a_backstop_not_a_driver() {
+        let opt = FigOptions {
+            full: false,
+            seed: 53,
+        };
+        let reports = run(&opt);
+        let fq = &reports[1];
+        let q = fq.column_values("quality").unwrap();
+        let spread =
+            q.iter().cloned().fold(0.0, f64::max) - q.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 0.05, "quality spread across quanta: {spread}");
+    }
+}

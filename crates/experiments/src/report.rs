@@ -1,0 +1,198 @@
+//! Structured figure reports: ASCII tables and CSV files.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One row of a figure's data.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Cell values, one per column.
+    pub cells: Vec<f64>,
+}
+
+impl Row {
+    /// Build a row from cells.
+    pub fn new(cells: Vec<f64>) -> Self {
+        Row { cells }
+    }
+}
+
+/// A figure regenerated as a table: named columns, numeric rows, free-form
+/// notes (the headline numbers the paper quotes in prose).
+#[derive(Clone, Debug)]
+pub struct FigureReport {
+    /// Short id, e.g. `"fig05"`.
+    pub id: String,
+    /// Human title, e.g. `"Quality and energy vs arrival rate"`.
+    pub title: String,
+    /// Column names; first column is the x-axis.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Derived headline numbers and commentary.
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Create an empty report.
+    pub fn new(id: &str, title: &str, columns: Vec<String>) -> Self {
+        FigureReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row; panics if the arity mismatches the header.
+    pub fn push_row(&mut self, cells: Vec<f64>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(Row::new(cells));
+    }
+
+    /// Append a commentary note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Column index by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Extract one column's values.
+    pub fn column_values(&self, name: &str) -> Option<Vec<f64>> {
+        let i = self.column(name)?;
+        Some(self.rows.iter().map(|r| r.cells[i]).collect())
+    }
+
+    /// Render an ASCII table with notes.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let fmt_cell = |v: f64| -> String {
+            if v.abs() >= 1000.0 {
+                format!("{v:.0}")
+            } else if v.abs() >= 10.0 {
+                format!("{v:.2}")
+            } else {
+                format!("{v:.4}")
+            }
+        };
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.cells.iter().map(|&v| fmt_cell(v)).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &cells {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Render as CSV (notes become `#` comment lines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for r in &self.rows {
+            let line: Vec<String> = r.cells.iter().map(|v| format!("{v}")).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+
+    /// Write the CSV next to other experiment outputs.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureReport {
+        let mut f = FigureReport::new(
+            "fig99",
+            "test figure",
+            vec!["rate".into(), "quality".into(), "energy".into()],
+        );
+        f.push_row(vec![100.0, 0.98, 123456.0]);
+        f.push_row(vec![200.0, 0.91, 234567.0]);
+        f.note("headline: everything fine");
+        f
+    }
+
+    #[test]
+    fn table_renders_header_rows_and_notes() {
+        let t = sample().to_table();
+        assert!(t.contains("fig99"));
+        assert!(t.contains("rate"));
+        assert!(t.contains("0.9800"));
+        assert!(t.contains("note: headline"));
+    }
+
+    #[test]
+    fn csv_roundtrip_values() {
+        let c = sample().to_csv();
+        assert!(c.contains("rate,quality,energy"));
+        assert!(c.contains("100,0.98,123456"));
+        assert!(c.starts_with("# fig99"));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let f = sample();
+        assert_eq!(f.column_values("quality").unwrap(), vec![0.98, 0.91]);
+        assert!(f.column_values("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        sample().push_row(vec![1.0]);
+    }
+
+    #[test]
+    fn csv_write_to_disk() {
+        let dir = std::env::temp_dir().join("qes_report_test");
+        let p = sample().write_csv(&dir).unwrap();
+        let s = std::fs::read_to_string(p).unwrap();
+        assert!(s.contains("fig99"));
+    }
+}

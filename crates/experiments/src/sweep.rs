@@ -1,0 +1,165 @@
+//! Parallel ⟨policy, arrival-rate⟩ sweeps.
+//!
+//! The paper's figures sweep arrival rate for several policies at 1800 s
+//! of simulated time per point. Points are independent, so we run them
+//! data-parallel with rayon (see the session's HPC guide: turn the
+//! sequential iterator into `par_iter` and let the pool schedule).
+
+use rayon::prelude::*;
+
+use crate::config::{run_policy, ExperimentConfig, PolicyKind};
+
+/// One measured point of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Policy evaluated.
+    pub kind: PolicyKind,
+    /// Arrival rate (requests/second).
+    pub rate: f64,
+    /// Normalized total quality (paper's quality axis).
+    pub quality: f64,
+    /// Total dynamic energy in joules (paper's energy axis).
+    pub energy: f64,
+    /// Fraction of jobs fully satisfied.
+    pub satisfaction: f64,
+}
+
+/// Run every ⟨policy, rate⟩ combination in parallel. Each point uses the
+/// same `seed`, so all policies see the *same* job stream per rate.
+pub fn sweep(
+    base: &ExperimentConfig,
+    kinds: &[PolicyKind],
+    rates: &[f64],
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let mut combos: Vec<(PolicyKind, f64)> = Vec::with_capacity(kinds.len() * rates.len());
+    for &k in kinds {
+        for &r in rates {
+            combos.push((k, r));
+        }
+    }
+    combos
+        .into_par_iter()
+        .map(|(kind, rate)| {
+            let cfg = base.clone().with_arrival_rate(rate);
+            let rep = run_policy(&cfg, kind, seed);
+            SweepPoint {
+                kind,
+                rate,
+                quality: rep.normalized_quality(),
+                energy: rep.energy_joules,
+                satisfaction: rep.satisfaction_rate(),
+            }
+        })
+        .collect()
+}
+
+/// Points of one policy, sorted by rate.
+pub fn series(points: &[SweepPoint], kind: PolicyKind) -> Vec<&SweepPoint> {
+    let mut v: Vec<&SweepPoint> = points.iter().filter(|p| p.kind == kind).collect();
+    v.sort_by(|a, b| a.rate.partial_cmp(&b.rate).unwrap());
+    v
+}
+
+/// The largest arrival rate at which `kind` still reaches `target`
+/// normalized quality, linearly interpolated between sweep points — the
+/// paper's "throughput at quality 0.9" metric (§V-E).
+pub fn throughput_at_quality(points: &[SweepPoint], kind: PolicyKind, target: f64) -> Option<f64> {
+    let s = series(points, kind);
+    if s.is_empty() {
+        return None;
+    }
+    // Find the last crossing from ≥ target to < target.
+    let mut best: Option<f64> = None;
+    for w in s.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a.quality >= target && b.quality < target {
+            let t = (a.quality - target) / (a.quality - b.quality);
+            best = Some(a.rate + t * (b.rate - a.rate));
+        }
+    }
+    match best {
+        Some(x) => Some(x),
+        // Never dropped below target: the whole sweep sustains it.
+        None if s.last().unwrap().quality >= target => Some(s.last().unwrap().rate),
+        // Never reached target at all.
+        None if s.first().unwrap().quality < target => Some(s.first().unwrap().rate),
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(kind: PolicyKind, rate: f64, quality: f64) -> SweepPoint {
+        SweepPoint {
+            kind,
+            rate,
+            quality,
+            energy: 0.0,
+            satisfaction: 0.0,
+        }
+    }
+
+    #[test]
+    fn series_filters_and_sorts() {
+        let pts = vec![
+            pt(PolicyKind::Des, 200.0, 0.8),
+            pt(PolicyKind::Fcfs, 100.0, 0.9),
+            pt(PolicyKind::Des, 100.0, 0.99),
+        ];
+        let s = series(&pts, PolicyKind::Des);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].rate, 100.0);
+        assert_eq!(s[1].rate, 200.0);
+    }
+
+    #[test]
+    fn throughput_interpolates_crossing() {
+        let pts = vec![
+            pt(PolicyKind::Des, 100.0, 0.99),
+            pt(PolicyKind::Des, 200.0, 0.80),
+        ];
+        // Crosses 0.9 at 100 + (0.09/0.19)·100 ≈ 147.4.
+        let t = throughput_at_quality(&pts, PolicyKind::Des, 0.9).unwrap();
+        assert!((t - 147.37).abs() < 0.1, "{t}");
+    }
+
+    #[test]
+    fn throughput_saturates_at_sweep_edges() {
+        let hi = vec![
+            pt(PolicyKind::Des, 100.0, 0.99),
+            pt(PolicyKind::Des, 200.0, 0.95),
+        ];
+        assert_eq!(
+            throughput_at_quality(&hi, PolicyKind::Des, 0.9),
+            Some(200.0)
+        );
+        let lo = vec![
+            pt(PolicyKind::Des, 100.0, 0.5),
+            pt(PolicyKind::Des, 200.0, 0.4),
+        ];
+        assert_eq!(
+            throughput_at_quality(&lo, PolicyKind::Des, 0.9),
+            Some(100.0)
+        );
+        assert_eq!(throughput_at_quality(&[], PolicyKind::Des, 0.9), None);
+    }
+
+    #[test]
+    fn sweep_runs_all_combos_in_parallel() {
+        let base = ExperimentConfig::quick().with_sim_seconds(2.0);
+        let pts = sweep(
+            &base,
+            &[PolicyKind::Des, PolicyKind::Fcfs],
+            &[40.0, 80.0],
+            1,
+        );
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.quality > 0.0 && p.quality <= 1.0 + 1e-9);
+            assert!(p.energy >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Baseline schedulers: FCFS, LJF, SJF, each ± WF (paper §V-A, §V-E).
+//!
+//! The comparison policies are classic one-job-per-core schedulers:
+//! whenever a core becomes idle, one job is taken from the ready queue —
+//! the earliest-released (FCFS, equivalent to EDF under agreeable
+//! deadlines), the largest (LJF) or the smallest (SJF) — and executed at
+//! the *slowest* speed that finishes it before its deadline, to save
+//! energy. If the core's power share cannot fund that speed, the job runs
+//! at the share's maximum speed until its deadline (a partial result).
+//!
+//! Power sharing is *static equal* by default (every core owns `H/m`,
+//! like S-DVFS hardware would enforce); the `+WF` variants redistribute
+//! the budget dynamically over the cores' current speed requests with the
+//! same water-filling policy DES uses, re-scaling running jobs at every
+//! trigger.
+
+use qes_core::schedule::{CoreSchedule, Slice};
+use qes_core::speed_for_volume;
+use qes_core::time::SimTime;
+use qes_singlecore::online_qe::ReadyJob;
+
+use crate::policy::{PolicyDecision, SchedulingPolicy, SystemView, TriggerRequest};
+use crate::water_filling::water_filling;
+
+/// Queue discipline of a baseline scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaselineOrder {
+    /// First-come first-served (≡ EDF for agreeable deadlines).
+    Fcfs,
+    /// Longest job first (largest service demand).
+    Ljf,
+    /// Shortest job first (smallest service demand).
+    Sjf,
+}
+
+impl BaselineOrder {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineOrder::Fcfs => "FCFS",
+            BaselineOrder::Ljf => "LJF",
+            BaselineOrder::Sjf => "SJF",
+        }
+    }
+}
+
+/// A baseline scheduling policy.
+#[derive(Clone, Debug)]
+pub struct BaselinePolicy {
+    order: BaselineOrder,
+    use_wf: bool,
+}
+
+impl BaselinePolicy {
+    /// Baseline with static equal power sharing (the paper's default).
+    pub fn new(order: BaselineOrder) -> Self {
+        BaselinePolicy {
+            order,
+            use_wf: false,
+        }
+    }
+
+    /// Baseline enhanced with dynamic WF power distribution (§V-E Fig. 6).
+    pub fn with_wf(order: BaselineOrder) -> Self {
+        BaselinePolicy {
+            order,
+            use_wf: true,
+        }
+    }
+
+    /// The queue discipline.
+    pub fn order(&self) -> BaselineOrder {
+        self.order
+    }
+
+    /// Sort the waiting queue according to the discipline.
+    fn sort_queue(&self, queue: &mut [ReadyJob]) {
+        match self.order {
+            BaselineOrder::Fcfs => queue.sort_by_key(|a| (a.job.release, a.job.id)),
+            BaselineOrder::Ljf => queue.sort_by(|a, b| {
+                b.job
+                    .demand
+                    .partial_cmp(&a.job.demand)
+                    .unwrap()
+                    .then(a.job.id.cmp(&b.job.id))
+            }),
+            BaselineOrder::Sjf => queue.sort_by(|a, b| {
+                a.job
+                    .demand
+                    .partial_cmp(&b.job.demand)
+                    .unwrap()
+                    .then(a.job.id.cmp(&b.job.id))
+            }),
+        }
+    }
+}
+
+/// One slice running `job` from `now`: at `speed`, until it completes or
+/// hits its deadline.
+fn run_slice(now: SimTime, r: &ReadyJob, speed: f64) -> Option<Slice> {
+    if speed <= 0.0 {
+        return None;
+    }
+    let us = r.remaining() * 1000.0 / speed;
+    let end = SimTime::from_micros(now.as_micros() + us.round() as u64).min(r.job.deadline);
+    (end > now).then_some(Slice {
+        job: r.job.id,
+        start: now,
+        end,
+        speed,
+    })
+}
+
+impl SchedulingPolicy for BaselinePolicy {
+    fn name(&self) -> String {
+        if self.use_wf {
+            format!("{}+WF", self.order.name())
+        } else {
+            self.order.name().to_string()
+        }
+    }
+
+    fn triggers(&self) -> TriggerRequest {
+        TriggerRequest::baseline()
+    }
+
+    fn on_trigger(&mut self, view: &SystemView<'_>) -> PolicyDecision {
+        let m = view.num_cores();
+        let now = view.now;
+
+        // Current occupant (live, unfinished job) per core.
+        let mut occupant: Vec<Option<ReadyJob>> = view
+            .cores
+            .iter()
+            .map(|c| c.live_jobs(now).into_iter().next())
+            .collect();
+
+        // Fill idle cores from the ordered queue.
+        let mut queue: Vec<ReadyJob> = view
+            .queue
+            .iter()
+            .filter(|r| r.job.deadline > now && r.remaining() > 1e-9)
+            .copied()
+            .collect();
+        self.sort_queue(&mut queue);
+        let mut queue_iter = queue.into_iter();
+        let mut assignments = Vec::new();
+        let mut newly_assigned = vec![false; m];
+        for (core, occ) in occupant.iter_mut().enumerate() {
+            if occ.is_none() {
+                if let Some(job) = queue_iter.next() {
+                    assignments.push((job.job.id, core));
+                    *occ = Some(job);
+                    newly_assigned[core] = true;
+                }
+            }
+        }
+
+        // Desired (slowest deadline-meeting) speed per core.
+        let desired: Vec<f64> = occupant
+            .iter()
+            .map(|occ| {
+                occ.map(|r| speed_for_volume(r.remaining(), r.job.deadline.saturating_since(now)))
+                    .unwrap_or(0.0)
+            })
+            .collect();
+
+        // Power caps: static equal share, or water-filled over requests.
+        let caps: Vec<f64> = if self.use_wf {
+            let requests: Vec<f64> = desired
+                .iter()
+                .map(|&s| view.model.dynamic_power(s))
+                .collect();
+            water_filling(&requests, view.budget)
+        } else {
+            vec![view.budget / m as f64; m]
+        };
+
+        // Plans: replan a core when its job is new, or (under WF) whenever
+        // it has a job at all — the cap may have moved.
+        let mut plans: Vec<Option<CoreSchedule>> = vec![None; m];
+        for core in 0..m {
+            let Some(r) = occupant[core] else {
+                // An occupant-less core keeps its (empty) plan.
+                continue;
+            };
+            if !self.use_wf && !newly_assigned[core] {
+                continue; // static sharing: the running slice is unchanged
+            }
+            let cap_speed = view.model.speed_for_dynamic_power(caps[core]);
+            let speed = desired[core].min(cap_speed);
+            let plan = run_slice(now, &r, speed)
+                .map(|s| CoreSchedule::new(vec![s]))
+                .unwrap_or_default();
+            plans[core] = Some(plan);
+        }
+
+        PolicyDecision {
+            assignments,
+            plans,
+            discarded: Vec::new(),
+            ambient_speeds: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::CoreView;
+    use qes_core::job::{Job, JobId};
+    use qes_core::power::{PolynomialPower, PowerModel};
+
+    const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn rj(id: u32, r: u64, d: u64, w: f64) -> ReadyJob {
+        ReadyJob {
+            job: Job::new(id, ms(r), ms(d), w).unwrap(),
+            processed: 0.0,
+        }
+    }
+
+    fn view<'a>(
+        now: SimTime,
+        queue: &'a [ReadyJob],
+        cores: &'a [CoreView],
+        budget: f64,
+    ) -> SystemView<'a> {
+        SystemView {
+            now,
+            queue,
+            cores,
+            budget,
+            model: &MODEL,
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(BaselinePolicy::new(BaselineOrder::Fcfs).name(), "FCFS");
+        assert_eq!(BaselinePolicy::with_wf(BaselineOrder::Sjf).name(), "SJF+WF");
+        assert_eq!(BaselinePolicy::new(BaselineOrder::Ljf).name(), "LJF");
+    }
+
+    #[test]
+    fn fcfs_picks_earliest_release() {
+        let mut p = BaselinePolicy::new(BaselineOrder::Fcfs);
+        let queue = vec![
+            rj(0, 20, 170, 50.0),
+            rj(1, 5, 155, 90.0),
+            rj(2, 10, 160, 10.0),
+        ];
+        let cores = vec![CoreView::default()];
+        let d = p.on_trigger(&view(ms(30), &queue, &cores, 20.0));
+        assert_eq!(d.assignments, vec![(JobId(1), 0)]);
+    }
+
+    #[test]
+    fn ljf_picks_largest_sjf_smallest() {
+        let queue = vec![
+            rj(0, 0, 150, 50.0),
+            rj(1, 0, 150, 90.0),
+            rj(2, 0, 150, 10.0),
+        ];
+        let cores = vec![CoreView::default()];
+        let mut ljf = BaselinePolicy::new(BaselineOrder::Ljf);
+        let d = ljf.on_trigger(&view(ms(0), &queue, &cores, 20.0));
+        assert_eq!(d.assignments[0].0, JobId(1));
+        let mut sjf = BaselinePolicy::new(BaselineOrder::Sjf);
+        let d = sjf.on_trigger(&view(ms(0), &queue, &cores, 20.0));
+        assert_eq!(d.assignments[0].0, JobId(2));
+    }
+
+    #[test]
+    fn runs_at_slowest_deadline_meeting_speed() {
+        let mut p = BaselinePolicy::new(BaselineOrder::Fcfs);
+        // 100 units, 200 ms window → 0.5 GHz, well under the 2 GHz cap.
+        let queue = vec![rj(0, 0, 200, 100.0)];
+        let cores = vec![CoreView::default()];
+        let d = p.on_trigger(&view(ms(0), &queue, &cores, 20.0));
+        let plan = d.plans[0].as_ref().unwrap();
+        let s = &plan.slices()[0];
+        assert!((s.speed - 0.5).abs() < 1e-9);
+        assert_eq!(s.end, ms(200)); // finishes exactly at the deadline
+    }
+
+    #[test]
+    fn clamps_at_share_speed_and_runs_to_deadline() {
+        let mut p = BaselinePolicy::new(BaselineOrder::Fcfs);
+        // 400 units in 100 ms needs 4 GHz; share 20 W allows 2 GHz.
+        let queue = vec![rj(0, 0, 100, 400.0)];
+        let cores = vec![CoreView::default()];
+        let d = p.on_trigger(&view(ms(0), &queue, &cores, 20.0));
+        let s = &d.plans[0].as_ref().unwrap().slices()[0];
+        assert!((s.speed - 2.0).abs() < 1e-9);
+        assert_eq!(s.end, ms(100)); // till deadline, partial result
+    }
+
+    #[test]
+    fn one_job_per_core_at_a_time() {
+        let mut p = BaselinePolicy::new(BaselineOrder::Fcfs);
+        let queue = vec![
+            rj(0, 0, 150, 50.0),
+            rj(1, 0, 150, 50.0),
+            rj(2, 0, 150, 50.0),
+        ];
+        let cores = vec![CoreView::default(), CoreView::default()];
+        let d = p.on_trigger(&view(ms(0), &queue, &cores, 20.0));
+        assert_eq!(d.assignments.len(), 2); // third job waits
+    }
+
+    #[test]
+    fn busy_core_not_reassigned_under_static_sharing() {
+        let mut p = BaselinePolicy::new(BaselineOrder::Fcfs);
+        let occupied = CoreView {
+            jobs: vec![rj(9, 0, 150, 100.0)],
+            busy: true,
+        };
+        let queue = vec![rj(0, 10, 160, 50.0)];
+        let d = p.on_trigger(&view(ms(20), &queue, &[occupied], 20.0));
+        assert!(d.assignments.is_empty());
+        assert!(d.plans[0].is_none()); // running slice untouched
+    }
+
+    #[test]
+    fn wf_borrows_power_for_the_hot_core() {
+        let mut p = BaselinePolicy::with_wf(BaselineOrder::Fcfs);
+        // Core 0 busy with a hot job needing 3 GHz (45 W); core 1 idle
+        // takes a cold job needing 0.5 GHz (1.25 W). Budget 40 W: static
+        // sharing would cap the hot job at 2 GHz, WF grants it 38.75 W.
+        let hot = CoreView {
+            jobs: vec![rj(0, 0, 100, 300.0)],
+            busy: true,
+        };
+        let cold = CoreView::default();
+        let queue = vec![rj(1, 0, 200, 100.0)];
+        let d = p.on_trigger(&view(ms(0), &queue, &[hot, cold], 40.0));
+        let hot_speed = d.plans[0].as_ref().unwrap().slices()[0].speed;
+        let cold_speed = d.plans[1].as_ref().unwrap().slices()[0].speed;
+        assert!((cold_speed - 0.5).abs() < 1e-9);
+        // WF grant = min(45, 40 − 1.25) = 38.75 W → 2.78 GHz > 2 GHz.
+        assert!(hot_speed > 2.0, "hot speed {hot_speed}");
+        let total = MODEL.dynamic_power(hot_speed) + MODEL.dynamic_power(cold_speed);
+        assert!(total <= 40.0 + 1e-6);
+    }
+
+    #[test]
+    fn wf_replans_running_jobs() {
+        let mut p = BaselinePolicy::with_wf(BaselineOrder::Fcfs);
+        let busy = CoreView {
+            jobs: vec![rj(0, 0, 100, 300.0)],
+            busy: true,
+        };
+        let d = p.on_trigger(&view(ms(10), &[], &[busy], 40.0));
+        // Even with nothing to assign, the busy core gets a fresh plan.
+        assert!(d.plans[0].is_some());
+    }
+
+    #[test]
+    fn expired_queue_jobs_skipped() {
+        let mut p = BaselinePolicy::new(BaselineOrder::Fcfs);
+        let queue = vec![rj(0, 0, 50, 30.0), rj(1, 0, 150, 30.0)];
+        let cores = vec![CoreView::default()];
+        let d = p.on_trigger(&view(ms(100), &queue, &cores, 20.0));
+        assert_eq!(d.assignments, vec![(JobId(1), 0)]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline (clairvoyant) reference schedules.
+//!
+//! The offline multicore ⟨quality, energy⟩ problem is NP-hard (§IV), so no
+//! exact polynomial solver exists; but two well-defined references are
+//! still invaluable for quantifying DES's *online* (myopia) gap:
+//!
+//! * [`offline_crr_qe_opt`] — fix the job→core assignment with the same
+//!   C-RR dealing DES uses, give every core the static equal power share
+//!   `H/m`, and solve each core *optimally* with full future knowledge
+//!   (QE-OPT). Any quality DES loses against this reference is the price
+//!   of not knowing the future (plus the dynamic-vs-static power-sharing
+//!   difference, which favours DES).
+//! * [`offline_best_assignment`] — for small instances, enumerate *every*
+//!   `m^n` job→core assignment, solve each with per-core QE-OPT, and
+//!   keep the lexicographic best. Exponential; guarded by an instance
+//!   size cap. This bounds how much the assignment policy itself can
+//!   matter.
+//!
+//! Neither is a true multicore optimum (power cannot migrate between
+//! cores over time here), but both are *feasible* schedules under the
+//! budget, so DES beating them is meaningful and losing to them is a
+//! measured regret.
+
+use qes_core::job::{Job, JobSet};
+use qes_core::metric::QualityEnergy;
+use qes_core::power::PowerModel;
+use qes_core::quality::QualityFunction;
+use qes_core::schedule::{CoreSchedule, Schedule};
+use qes_singlecore::qe_opt::qe_opt;
+
+use crate::crr::CrrDistributor;
+
+/// A reference schedule with its score.
+#[derive(Clone, Debug)]
+pub struct OfflineResult {
+    /// The feasible multicore schedule.
+    pub schedule: Schedule,
+    /// Its ⟨quality, energy⟩ score under the given quality function.
+    pub score: QualityEnergy,
+}
+
+/// Solve per-core QE-OPT for a fixed assignment. `assignment[i]` is the
+/// core of `jobs.jobs()[i]`.
+fn solve_assignment(
+    jobs: &JobSet,
+    assignment: &[usize],
+    m: usize,
+    model: &dyn PowerModel,
+    share: f64,
+    quality: &dyn QualityFunction,
+) -> OfflineResult {
+    let mut per_core: Vec<Vec<Job>> = vec![Vec::new(); m];
+    for (job, &core) in jobs.iter().zip(assignment) {
+        per_core[core].push(*job);
+    }
+    let mut cores = Vec::with_capacity(m);
+    let mut total_quality = 0.0;
+    for bucket in per_core {
+        if bucket.is_empty() {
+            cores.push(CoreSchedule::default());
+            continue;
+        }
+        let set = JobSet::new_unchecked(bucket);
+        let r = qe_opt(&set, model, share);
+        total_quality += set
+            .iter()
+            .map(|j| quality.job_quality(j, r.volume(j.id)))
+            .sum::<f64>();
+        cores.push(r.schedule);
+    }
+    let schedule = Schedule::new(cores);
+    let energy = schedule.total_energy(model);
+    OfflineResult {
+        schedule,
+        score: QualityEnergy::new(total_quality, energy),
+    }
+}
+
+/// Clairvoyant reference: C-RR assignment + static equal power + per-core
+/// QE-OPT with full future knowledge.
+pub fn offline_crr_qe_opt(
+    jobs: &JobSet,
+    m: usize,
+    model: &dyn PowerModel,
+    budget: f64,
+    quality: &dyn QualityFunction,
+) -> OfflineResult {
+    assert!(m > 0);
+    let mut crr = CrrDistributor::new();
+    let assignment = crr.assign(jobs.len(), m);
+    solve_assignment(jobs, &assignment, m, model, budget / m as f64, quality)
+}
+
+/// Maximum `m^n` combinations [`offline_best_assignment`] will enumerate.
+pub const BRUTE_FORCE_CAP: u64 = 1_000_000;
+
+/// Exhaustive best assignment for small instances (per-core QE-OPT,
+/// static equal power). Returns `None` when `m^n` exceeds
+/// [`BRUTE_FORCE_CAP`].
+pub fn offline_best_assignment(
+    jobs: &JobSet,
+    m: usize,
+    model: &dyn PowerModel,
+    budget: f64,
+    quality: &dyn QualityFunction,
+) -> Option<OfflineResult> {
+    assert!(m > 0);
+    let n = jobs.len() as u32;
+    let combos = (m as u64).checked_pow(n)?;
+    if combos > BRUTE_FORCE_CAP {
+        return None;
+    }
+    let share = budget / m as f64;
+    let mut best: Option<OfflineResult> = None;
+    let mut assignment = vec![0usize; jobs.len()];
+    loop {
+        let cand = solve_assignment(jobs, &assignment, m, model, share, quality);
+        best = Some(match best {
+            None => cand,
+            Some(b) if cand.score.compare(&b.score) == std::cmp::Ordering::Greater => cand,
+            Some(b) => b,
+        });
+        // Odometer increment over base-m digits.
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                return best;
+            }
+            assignment[i] += 1;
+            if assignment[i] < m {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qes_core::power::PolynomialPower;
+    use qes_core::quality::ExpQuality;
+    use qes_core::time::SimTime;
+
+    const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
+    const Q: ExpQuality = ExpQuality::PAPER_DEFAULT;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn js(specs: &[(u64, u64, f64)]) -> JobSet {
+        JobSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, d, w))| Job::new(i as u32, ms(r), ms(d), w).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn crr_reference_is_feasible() {
+        let jobs = js(&[
+            (0, 150, 200.0),
+            (10, 160, 150.0),
+            (20, 170, 300.0),
+            (30, 180, 100.0),
+        ]);
+        let r = offline_crr_qe_opt(&jobs, 2, &MODEL, 40.0, &Q);
+        r.schedule
+            .validate_with_tolerance(&jobs, &MODEL, 40.0, 0.25, 1e-3)
+            .unwrap();
+        assert!(r.score.quality > 0.0);
+        assert!(r.score.energy > 0.0);
+    }
+
+    #[test]
+    fn brute_force_at_least_matches_crr() {
+        let jobs = js(&[
+            (0, 100, 180.0),
+            (0, 100, 180.0),
+            (5, 105, 60.0),
+            (10, 110, 240.0),
+        ]);
+        let crr = offline_crr_qe_opt(&jobs, 2, &MODEL, 20.0, &Q);
+        let best = offline_best_assignment(&jobs, 2, &MODEL, 20.0, &Q).unwrap();
+        assert!(
+            best.score.dominates_or_ties(&crr.score),
+            "brute force {} worse than C-RR {}",
+            best.score,
+            crr.score
+        );
+    }
+
+    #[test]
+    fn brute_force_prefers_balanced_assignments() {
+        // Two identical heavy jobs, two cores: splitting them dominates
+        // stacking them (concavity + per-core capacity).
+        let jobs = js(&[(0, 100, 180.0), (0, 100, 180.0)]);
+        let best = offline_best_assignment(&jobs, 2, &MODEL, 10.0, &Q).unwrap();
+        // Both cores must run something.
+        let busy = best
+            .schedule
+            .cores()
+            .iter()
+            .filter(|c| !c.is_empty())
+            .count();
+        assert_eq!(busy, 2);
+    }
+
+    #[test]
+    fn brute_force_caps_instance_size() {
+        let jobs = js([(0, 100, 10.0); 30].as_slice());
+        assert!(offline_best_assignment(&jobs, 4, &MODEL, 40.0, &Q).is_none());
+    }
+
+    #[test]
+    fn empty_jobset_scores_zero() {
+        let jobs = JobSet::new(vec![]).unwrap();
+        let r = offline_crr_qe_opt(&jobs, 3, &MODEL, 60.0, &Q);
+        assert_eq!(r.score.quality, 0.0);
+        assert_eq!(r.score.energy, 0.0);
+    }
+}

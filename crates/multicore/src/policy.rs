@@ -1,0 +1,185 @@
+//! The contract between scheduling policies and the simulation engine.
+//!
+//! The engine owns all state (waiting queue, per-core job sets, progress,
+//! energy accounting). On every triggering event (§IV-E) it builds a
+//! read-only [`SystemView`] and asks the policy for a [`PolicyDecision`]:
+//! which queued jobs move to which cores, which per-core plans replace the
+//! current ones, and which jobs are abandoned.
+
+use qes_core::job::JobId;
+use qes_core::power::PowerModel;
+use qes_core::schedule::CoreSchedule;
+use qes_core::time::{SimDuration, SimTime};
+use qes_singlecore::online_qe::ReadyJob;
+
+/// What one core looks like at a trigger instant.
+#[derive(Clone, Debug, Default)]
+pub struct CoreView {
+    /// Unfinished, unexpired jobs assigned to this core (non-migratory),
+    /// with their processed volumes. Includes the running job, if any.
+    pub jobs: Vec<ReadyJob>,
+    /// True if the core still has planned work from the previous decision.
+    pub busy: bool,
+}
+
+impl CoreView {
+    /// Jobs still live at `now` with remaining work.
+    pub fn live_jobs(&self, now: SimTime) -> Vec<ReadyJob> {
+        self.jobs
+            .iter()
+            .filter(|r| r.job.deadline > now && r.remaining() > 1e-9)
+            .copied()
+            .collect()
+    }
+}
+
+/// Read-only snapshot handed to the policy at each trigger.
+pub struct SystemView<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Arrived, not-yet-assigned jobs, in arrival order.
+    pub queue: &'a [ReadyJob],
+    /// Per-core state.
+    pub cores: &'a [CoreView],
+    /// Total dynamic power budget `H` (W).
+    pub budget: f64,
+    /// The per-core power model.
+    pub model: &'a dyn PowerModel,
+}
+
+impl SystemView<'_> {
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+}
+
+/// What the policy wants done.
+#[derive(Clone, Debug, Default)]
+pub struct PolicyDecision {
+    /// Queued jobs to move onto cores: `(job, core index)`. A job may be
+    /// assigned at most once and stays on its core forever (non-migratory).
+    pub assignments: Vec<(JobId, usize)>,
+    /// Replacement plan per core, with slices starting at or after the
+    /// trigger instant. `None` keeps the core's current plan.
+    pub plans: Vec<Option<CoreSchedule>>,
+    /// Jobs abandoned now (engine stops tracking them; their quality is
+    /// settled from whatever volume they already processed).
+    pub discarded: Vec<JobId>,
+    /// Speed each core runs at while *not* executing a slice, until the
+    /// next decision. Empty means all zero (cores gate off when idle —
+    /// the C-DVFS behaviour). No-DVFS cores cannot scale down and spin at
+    /// their fixed speed; S-DVFS cores are locked to the shared clock
+    /// (§V-A), so both report nonzero ambient speeds here.
+    pub ambient_speeds: Vec<f64>,
+}
+
+impl PolicyDecision {
+    /// A decision that keeps every core's current plan.
+    pub fn keep_all(num_cores: usize) -> Self {
+        PolicyDecision {
+            assignments: Vec::new(),
+            plans: vec![None; num_cores],
+            discarded: Vec::new(),
+            ambient_speeds: Vec::new(),
+        }
+    }
+}
+
+/// Which of the §IV-E triggering events a policy wants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriggerRequest {
+    /// Quantum trigger: invoke every `Some(q)` of simulated time.
+    pub quantum: Option<SimDuration>,
+    /// Counter trigger: invoke when this many jobs are waiting.
+    pub counter: Option<usize>,
+    /// Idle-core trigger: invoke when a core runs out of planned work.
+    pub on_idle: bool,
+    /// Invoke on every job arrival (used by the one-job-at-a-time
+    /// baselines, which otherwise would never see a job that arrives
+    /// while cores sit idle).
+    pub on_arrival: bool,
+}
+
+impl TriggerRequest {
+    /// The paper's DES defaults (§V-B): 500 ms quantum, counter of 8,
+    /// idle-core trigger on.
+    pub fn paper_default() -> Self {
+        TriggerRequest {
+            quantum: Some(SimDuration::from_millis(500)),
+            counter: Some(8),
+            on_idle: true,
+            on_arrival: false,
+        }
+    }
+
+    /// Baseline schedulers: react to idle cores and arrivals only.
+    pub fn baseline() -> Self {
+        TriggerRequest {
+            quantum: None,
+            counter: None,
+            on_idle: true,
+            on_arrival: true,
+        }
+    }
+}
+
+/// A multicore scheduling policy driven by the simulation engine.
+pub trait SchedulingPolicy {
+    /// Human-readable name used in reports.
+    fn name(&self) -> String;
+
+    /// The triggering events this policy wants.
+    fn triggers(&self) -> TriggerRequest;
+
+    /// Produce a decision for the current system state. Called on every
+    /// trigger; the engine has already advanced all progress to
+    /// `view.now`.
+    fn on_trigger(&mut self, view: &SystemView<'_>) -> PolicyDecision;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qes_core::job::Job;
+
+    #[test]
+    fn live_jobs_filters_expired_and_finished() {
+        let ms = SimTime::from_millis;
+        let mk = |id, d, w, done| ReadyJob {
+            job: Job::new(id, ms(0), ms(d), w).unwrap(),
+            processed: done,
+        };
+        let core = CoreView {
+            jobs: vec![
+                mk(0, 100, 50.0, 0.0),
+                mk(1, 100, 50.0, 50.0),
+                mk(2, 10, 50.0, 0.0),
+            ],
+            busy: true,
+        };
+        let live = core.live_jobs(ms(50));
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].job.id.0, 0);
+    }
+
+    #[test]
+    fn default_trigger_profiles() {
+        let d = TriggerRequest::paper_default();
+        assert_eq!(d.quantum, Some(SimDuration::from_millis(500)));
+        assert_eq!(d.counter, Some(8));
+        assert!(d.on_idle);
+        assert!(!d.on_arrival);
+        let b = TriggerRequest::baseline();
+        assert!(b.on_idle && b.on_arrival);
+        assert!(b.quantum.is_none() && b.counter.is_none());
+    }
+
+    #[test]
+    fn keep_all_preserves_plans() {
+        let d = PolicyDecision::keep_all(3);
+        assert_eq!(d.plans.len(), 3);
+        assert!(d.plans.iter().all(|p| p.is_none()));
+        assert!(d.assignments.is_empty());
+    }
+}

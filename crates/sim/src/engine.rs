@@ -1,0 +1,672 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use qes_core::job::{Job, JobId, JobSet};
+use qes_core::power::PowerModel;
+use qes_core::quality::QualityFunction;
+use qes_core::rate_units_per_us;
+use qes_core::schedule::Slice;
+use qes_core::time::{SimDuration, SimTime};
+use qes_multicore::{CoreView, SchedulingPolicy, SystemView};
+use qes_singlecore::online_qe::ReadyJob;
+
+use crate::report::SimReport;
+use crate::stats::{DetailedStats, JobOutcome};
+use crate::trace::{SimTrace, TraceSlice};
+
+/// Configuration of one simulation run.
+pub struct SimConfig<'a> {
+    /// Number of cores `m`.
+    pub num_cores: usize,
+    /// Total dynamic power budget `H` (W).
+    pub budget: f64,
+    /// Per-core power model.
+    pub model: &'a dyn PowerModel,
+    /// Quality function shared by every job (§II-A).
+    pub quality: &'a dyn QualityFunction,
+    /// Simulation horizon; arrivals beyond it are ignored and all jobs are
+    /// settled here at the latest.
+    pub end: SimTime,
+    /// Record every executed slice (needed for §V-G trace replay).
+    pub record_trace: bool,
+    /// Scheduling overhead charged per policy invocation: installed plans
+    /// only take effect this long after the trigger (the cores finish
+    /// whatever they were doing, then idle through the stall). Zero by
+    /// default; used by the §IV-E grouped-vs-immediate scheduling study.
+    pub overhead: SimDuration,
+}
+
+/// The simulator. Construct one per run via [`Simulator::run`].
+pub struct Simulator;
+
+impl Simulator {
+    /// Simulate `policy` over `jobs`, returning the aggregate report and
+    /// (if requested) the execution trace.
+    pub fn run(
+        cfg: &SimConfig<'_>,
+        policy: &mut dyn SchedulingPolicy,
+        jobs: &JobSet,
+    ) -> (SimReport, SimTrace) {
+        let (report, trace, _) = Self::run_detailed(cfg, policy, jobs);
+        (report, trace)
+    }
+
+    /// [`Simulator::run`] plus per-job outcomes and per-core utilization.
+    pub fn run_detailed(
+        cfg: &SimConfig<'_>,
+        policy: &mut dyn SchedulingPolicy,
+        jobs: &JobSet,
+    ) -> (SimReport, SimTrace, DetailedStats) {
+        Engine::new(cfg, jobs).run(policy)
+    }
+}
+
+/// Event kinds, in same-instant processing order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A job's deadline passed: settle its quality.
+    Deadline(JobId),
+    /// A job arrives (index into the release-sorted job list).
+    Arrival(u32),
+    /// A core's plan ran out (stale if the version moved on).
+    PlanEnd { core: u32, version: u64 },
+    /// Periodic quantum tick.
+    Quantum,
+}
+
+type Event = (SimTime, u8, u64, EventKind);
+
+struct CoreState {
+    jobs: Vec<ReadyJob>,
+    plan: VecDeque<Slice>,
+    version: u64,
+    ambient: f64,
+    advanced_to: SimTime,
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig<'a>,
+    all_jobs: Vec<Job>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: SimTime,
+    queue: Vec<ReadyJob>,
+    cores: Vec<CoreState>,
+    settled: HashSet<JobId>,
+    trace: SimTrace,
+    report: SimReport,
+    stats: DetailedStats,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig<'a>, jobs: &JobSet) -> Self {
+        let all_jobs: Vec<Job> = jobs.iter().copied().collect();
+        let mut eng = Engine {
+            cfg,
+            all_jobs,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            queue: Vec::new(),
+            cores: (0..cfg.num_cores)
+                .map(|_| CoreState {
+                    jobs: Vec::new(),
+                    plan: VecDeque::new(),
+                    version: 0,
+                    ambient: 0.0,
+                    advanced_to: SimTime::ZERO,
+                })
+                .collect(),
+            settled: HashSet::new(),
+            trace: SimTrace::default(),
+            report: SimReport {
+                sim_seconds: cfg.end.as_secs_f64(),
+                ..SimReport::default()
+            },
+            stats: DetailedStats::new(cfg.num_cores, cfg.end),
+        };
+        let initial: Vec<(usize, Job)> = eng
+            .all_jobs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, j)| j.release <= cfg.end)
+            .collect();
+        for (i, j) in initial {
+            eng.push_event(j.release, EventKind::Arrival(i as u32));
+            // Deadlines may fall past the arrival cutoff: the engine
+            // drains in-flight jobs so late arrivals are not unfairly
+            // truncated (their windows extend ≤ one relative deadline
+            // beyond `end`).
+            eng.push_event(j.deadline, EventKind::Deadline(j.id));
+        }
+        eng
+    }
+
+    fn push_event(&mut self, t: SimTime, kind: EventKind) {
+        let prio = match kind {
+            EventKind::Deadline(_) => 0,
+            EventKind::Arrival(_) => 1,
+            EventKind::PlanEnd { .. } => 2,
+            EventKind::Quantum => 3,
+        };
+        self.seq += 1;
+        self.events.push(Reverse((t, prio, self.seq, kind)));
+    }
+
+    fn run(mut self, policy: &mut dyn SchedulingPolicy) -> (SimReport, SimTrace, DetailedStats) {
+        self.report.policy = policy.name();
+        let trig = policy.triggers();
+        if let Some(q) = trig.quantum {
+            if !q.is_zero() {
+                self.push_event(SimTime::ZERO + q, EventKind::Quantum);
+            }
+        }
+        // Arrivals stop at `end`; the loop then drains until every job is
+        // settled (quantum ticks stop rescheduling past `end`, so the heap
+        // empties within one relative deadline).
+        while let Some(Reverse((t, _, _, kind))) = self.events.pop() {
+            self.now = t;
+            match kind {
+                EventKind::Arrival(i) => {
+                    let mut batch = vec![i];
+                    // Batch all arrivals at the same instant so the policy
+                    // sees them together (a lone trigger between two
+                    // simultaneous arrivals is a simulation artifact).
+                    while let Some(Reverse((bt, _, _, EventKind::Arrival(j)))) = self.events.peek()
+                    {
+                        if *bt != t {
+                            break;
+                        }
+                        batch.push(*j);
+                        self.events.pop();
+                    }
+                    for i in batch {
+                        let job = self.all_jobs[i as usize];
+                        self.queue.push(ReadyJob::fresh(job));
+                        self.report.jobs_total += 1;
+                        self.report.max_quality += self.cfg.quality.max_job_quality(&job);
+                    }
+                    let counter_hit = trig.counter.is_some_and(|c| self.queue.len() >= c);
+                    // The idle-core trigger (§IV-E) also covers a job
+                    // arriving while a core sits idle — "an idle core
+                    // triggers the scheduler to start assigning more jobs".
+                    let idle_hit = trig.on_idle && self.any_core_idle();
+                    if trig.on_arrival || counter_hit || idle_hit {
+                        self.invoke(policy);
+                    }
+                }
+                EventKind::Deadline(id) => {
+                    if !self.settled.contains(&id) {
+                        if let Some(core) = self.core_of(id) {
+                            self.advance_core(core, t);
+                        }
+                        self.settle(id);
+                    }
+                }
+                EventKind::PlanEnd { core, version } => {
+                    let core = core as usize;
+                    if self.cores[core].version == version {
+                        self.advance_core(core, t);
+                        if trig.on_idle {
+                            self.invoke(policy);
+                        }
+                    }
+                }
+                EventKind::Quantum => {
+                    self.invoke(policy);
+                    if let Some(q) = trig.quantum {
+                        let next = t + q;
+                        if next <= self.cfg.end {
+                            self.push_event(next, EventKind::Quantum);
+                        }
+                    }
+                }
+            }
+        }
+        // Horizon reached: integrate the tail and settle everything left.
+        let final_t = self.now.max(self.cfg.end);
+        self.now = final_t;
+        for c in 0..self.cores.len() {
+            self.advance_core(c, final_t);
+        }
+        let leftovers: Vec<JobId> = self
+            .queue
+            .iter()
+            .map(|r| r.job.id)
+            .chain(
+                self.cores
+                    .iter()
+                    .flat_map(|c| c.jobs.iter().map(|r| r.job.id)),
+            )
+            .collect();
+        for id in leftovers {
+            if !self.settled.contains(&id) {
+                self.settle(id);
+            }
+        }
+        (self.report, self.trace, self.stats)
+    }
+
+    /// True if some core has no planned work left at the current instant.
+    fn any_core_idle(&self) -> bool {
+        self.cores
+            .iter()
+            .any(|c| c.plan.iter().all(|s| s.end <= self.now))
+    }
+
+    /// Which core holds `id`, if any.
+    fn core_of(&self, id: JobId) -> Option<usize> {
+        self.cores
+            .iter()
+            .position(|c| c.jobs.iter().any(|r| r.job.id == id))
+    }
+
+    /// Record a job's final quality and drop it from the live structures.
+    fn settle(&mut self, id: JobId) {
+        let found = if let Some(pos) = self.queue.iter().position(|r| r.job.id == id) {
+            Some(self.queue.swap_remove(pos))
+        } else {
+            self.cores.iter_mut().find_map(|c| {
+                c.jobs
+                    .iter()
+                    .position(|r| r.job.id == id)
+                    .map(|pos| c.jobs.swap_remove(pos))
+            })
+        };
+        // Unknown id (e.g. double discard): nothing to settle.
+        let Some(r) = found else { return };
+        let quality = self.cfg.quality.job_quality(&r.job, r.processed);
+        self.report.total_quality += quality;
+        if r.job.demand <= 1e-12 || r.processed + 1e-3 >= r.job.demand {
+            self.report.jobs_satisfied += 1;
+        } else if r.processed > 1e-9 {
+            self.report.jobs_partial += 1;
+        } else {
+            self.report.jobs_zero += 1;
+        }
+        self.stats.record(JobOutcome {
+            id,
+            release: r.job.release,
+            settled: self.now,
+            processed: r.processed,
+            demand: r.job.demand,
+            quality,
+        });
+        self.settled.insert(id);
+    }
+
+    /// Integrate core `c`'s plan (progress, energy, trace, completions)
+    /// from its last advance point to `t`.
+    fn advance_core(&mut self, c: usize, t: SimTime) {
+        let model = self.cfg.model;
+        let record_trace = self.cfg.record_trace;
+        let core = &mut self.cores[c];
+        if t <= core.advanced_to {
+            return;
+        }
+        let mut completions: Vec<JobId> = Vec::new();
+        while let Some(front) = core.plan.front_mut() {
+            if front.start >= t {
+                break;
+            }
+            let seg_start = front.start.max(core.advanced_to);
+            // Ambient draw over the idle gap before the slice.
+            let gap = seg_start.saturating_since(core.advanced_to);
+            if !gap.is_zero() && core.ambient > 0.0 {
+                self.report.energy_joules += model.dynamic_energy(core.ambient, gap.as_secs_f64());
+            }
+            let seg_end = front.end.min(t);
+            let dur = seg_end.saturating_since(seg_start);
+            if !dur.is_zero() {
+                self.stats.add_busy(c, dur.as_micros());
+                self.report.energy_joules += model.dynamic_energy(front.speed, dur.as_secs_f64());
+                let vol = rate_units_per_us(front.speed) * dur.as_micros() as f64;
+                if let Some(r) = core.jobs.iter_mut().find(|r| r.job.id == front.job) {
+                    r.processed += vol;
+                    if r.processed + 1e-3 >= r.job.demand {
+                        completions.push(r.job.id);
+                    }
+                }
+                if record_trace {
+                    self.trace.push(TraceSlice {
+                        core: c,
+                        job: front.job,
+                        start: seg_start,
+                        end: seg_end,
+                        speed: front.speed,
+                    });
+                }
+            }
+            if front.end <= t {
+                core.advanced_to = front.end;
+                core.plan.pop_front();
+            } else {
+                front.start = t;
+                core.advanced_to = t;
+                break;
+            }
+        }
+        // Trailing idle stretch up to `t`.
+        let gap = t.saturating_since(core.advanced_to);
+        if !gap.is_zero() && core.ambient > 0.0 {
+            self.report.energy_joules += model.dynamic_energy(core.ambient, gap.as_secs_f64());
+        }
+        core.advanced_to = t;
+        for id in completions {
+            self.settle(id);
+        }
+    }
+
+    /// Invoke the policy and apply its decision.
+    fn invoke(&mut self, policy: &mut dyn SchedulingPolicy) {
+        let now = self.now;
+        for c in 0..self.cores.len() {
+            self.advance_core(c, now);
+        }
+        let views: Vec<CoreView> = self
+            .cores
+            .iter()
+            .map(|c| CoreView {
+                jobs: c.jobs.clone(),
+                busy: !c.plan.is_empty(),
+            })
+            .collect();
+        let decision = {
+            let view = SystemView {
+                now,
+                queue: &self.queue,
+                cores: &views,
+                budget: self.cfg.budget,
+                model: self.cfg.model,
+            };
+            policy.on_trigger(&view)
+        };
+        self.report.invocations += 1;
+
+        // Move assigned jobs from the queue onto their cores.
+        for (id, core) in decision.assignments {
+            if core >= self.cores.len() {
+                debug_assert!(false, "assignment to nonexistent core {core}");
+                continue;
+            }
+            if let Some(pos) = self.queue.iter().position(|r| r.job.id == id) {
+                let r = self.queue.remove(pos);
+                self.cores[core].jobs.push(r);
+            }
+        }
+
+        // Abandon discarded jobs (settled with whatever volume they have).
+        for id in decision.discarded {
+            if !self.settled.contains(&id) {
+                self.settle(id);
+                self.report.jobs_discarded += 1;
+            }
+        }
+
+        // Install replacement plans. With a nonzero scheduling overhead,
+        // the new plan only takes effect after the stall: slices are
+        // clipped to start at `now + overhead` (work the stall displaces
+        // is lost, exactly the §IV-E cost of invoking too often).
+        let effective = now + self.cfg.overhead;
+        for (c, plan) in decision.plans.into_iter().enumerate() {
+            if c >= self.cores.len() {
+                break;
+            }
+            let Some(plan) = plan else { continue };
+            let core = &mut self.cores[c];
+            core.version += 1;
+            core.plan = plan
+                .slices()
+                .iter()
+                .filter(|s| s.end > effective)
+                .map(|s| Slice {
+                    start: s.start.max(effective),
+                    ..*s
+                })
+                .collect();
+            if let Some(end) = core.plan.back().map(|s| s.end) {
+                let version = core.version;
+                if end > now {
+                    self.push_event(
+                        end,
+                        EventKind::PlanEnd {
+                            core: c as u32,
+                            version,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Ambient speeds for the inter-invocation window.
+        if decision.ambient_speeds.len() == self.cores.len() {
+            for (core, &s) in self.cores.iter_mut().zip(&decision.ambient_speeds) {
+                core.ambient = s;
+            }
+        } else if decision.ambient_speeds.is_empty() {
+            // Leave ambient as-is for policies that keep plans (None) and
+            // don't manage ambient draw; zero is the initial state.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qes_core::power::PolynomialPower;
+    use qes_core::quality::ExpQuality;
+    use qes_multicore::{BaselineOrder, BaselinePolicy, DesPolicy, PolicyDecision, TriggerRequest};
+
+    const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
+    const Q: ExpQuality = ExpQuality::PAPER_DEFAULT;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn cfg(end_ms: u64, cores: usize, budget: f64) -> SimConfig<'static> {
+        SimConfig {
+            num_cores: cores,
+            budget,
+            model: &MODEL,
+            quality: &Q,
+            end: ms(end_ms),
+            record_trace: true,
+            overhead: SimDuration::ZERO,
+        }
+    }
+
+    fn job(id: u32, r: u64, d: u64, w: f64) -> Job {
+        Job::new(id, ms(r), ms(d), w).unwrap()
+    }
+
+    #[test]
+    fn single_light_job_completes_under_des() {
+        let jobs = JobSet::new(vec![job(0, 0, 150, 100.0)]).unwrap();
+        let c = cfg(1000, 2, 40.0);
+        let mut p = DesPolicy::new();
+        let (report, trace) = Simulator::run(&c, &mut p, &jobs);
+        assert_eq!(report.jobs_total, 1);
+        assert_eq!(report.jobs_satisfied, 1);
+        assert!((report.normalized_quality() - 1.0).abs() < 1e-6);
+        assert!(report.energy_joules > 0.0);
+        assert!((trace.total_volume() - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn overload_yields_partial_quality() {
+        // One core, 5 W (1 GHz), two 200-unit jobs in a 100 ms window:
+        // capacity 100 units → each gets ~50.
+        let jobs = JobSet::new(vec![job(0, 0, 100, 200.0), job(1, 0, 100, 200.0)]).unwrap();
+        let c = cfg(500, 1, 5.0);
+        let mut p = DesPolicy::new();
+        let (report, trace) = Simulator::run(&c, &mut p, &jobs);
+        assert_eq!(report.jobs_total, 2);
+        assert_eq!(report.jobs_satisfied, 0);
+        assert_eq!(report.jobs_partial, 2);
+        assert!((trace.total_volume() - 100.0).abs() < 1.0);
+        let expect = 2.0 * Q.value(50.0) / (2.0 * Q.value(200.0));
+        assert!((report.normalized_quality() - expect).abs() < 0.02);
+    }
+
+    #[test]
+    fn energy_matches_trace_for_gating_policies() {
+        let jobs = JobSet::new(vec![
+            job(0, 0, 150, 120.0),
+            job(1, 40, 190, 80.0),
+            job(2, 90, 240, 150.0),
+        ])
+        .unwrap();
+        let c = cfg(1000, 2, 40.0);
+        let mut p = DesPolicy::new();
+        let (report, trace) = Simulator::run(&c, &mut p, &jobs);
+        // C-DVFS has zero ambient draw: report energy == trace energy.
+        assert!((report.energy_joules - trace.dynamic_energy(&MODEL)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_dvfs_burns_ambient_power() {
+        let jobs = JobSet::new(vec![job(0, 0, 150, 100.0)]).unwrap();
+        let c = cfg(1000, 2, 40.0);
+        let mut p = DesPolicy::on_arch(qes_multicore::ArchKind::NoDvfs);
+        let (report, trace) = Simulator::run(&c, &mut p, &jobs);
+        // Ambient draw makes total energy exceed the executed slices'.
+        assert!(report.energy_joules > trace.dynamic_energy(&MODEL) + 1.0);
+        // From the first invocation (t=0 arrival is not a DES trigger; the
+        // counter is 8, so the first trigger is... the idle/quantum path).
+        // Regardless: by t=1 s both cores have burned ≈ 20 W each for most
+        // of the second.
+        assert!(report.energy_joules < 40.0 * 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn fcfs_runs_jobs_one_at_a_time() {
+        let jobs = JobSet::new(vec![
+            job(0, 0, 150, 100.0),
+            job(1, 0, 150, 100.0),
+            job(2, 0, 150, 100.0),
+        ])
+        .unwrap();
+        let c = cfg(1000, 1, 20.0);
+        let mut p = BaselinePolicy::new(BaselineOrder::Fcfs);
+        let (report, _) = Simulator::run(&c, &mut p, &jobs);
+        // 1 core at ≤2 GHz, 150 ms: at most 300 units — two jobs max, and
+        // FCFS runs at the slowest finishing speed, so job 0 takes
+        // 150 ms at 2/3 GHz... then jobs 1,2 expire: exactly 1 satisfied.
+        assert_eq!(report.jobs_total, 3);
+        assert_eq!(report.jobs_satisfied, 1);
+        assert_eq!(report.jobs_zero, 2);
+    }
+
+    #[test]
+    fn deadline_settles_waiting_jobs_with_zero_quality() {
+        // A policy that never assigns anything.
+        struct Lazy;
+        impl SchedulingPolicy for Lazy {
+            fn name(&self) -> String {
+                "lazy".into()
+            }
+            fn triggers(&self) -> TriggerRequest {
+                TriggerRequest {
+                    quantum: None,
+                    counter: None,
+                    on_idle: false,
+                    on_arrival: false,
+                }
+            }
+            fn on_trigger(&mut self, v: &SystemView<'_>) -> PolicyDecision {
+                PolicyDecision::keep_all(v.num_cores())
+            }
+        }
+        let jobs = JobSet::new(vec![job(0, 0, 100, 50.0)]).unwrap();
+        let c = cfg(500, 1, 20.0);
+        let (report, _) = Simulator::run(&c, &mut Lazy, &jobs);
+        assert_eq!(report.jobs_total, 1);
+        assert_eq!(report.jobs_zero, 1);
+        assert_eq!(report.total_quality, 0.0);
+        assert_eq!(report.energy_joules, 0.0);
+    }
+
+    #[test]
+    fn arrivals_beyond_horizon_are_ignored() {
+        let jobs = JobSet::new(vec![job(0, 0, 150, 50.0), job(1, 2000, 2150, 50.0)]).unwrap();
+        let c = cfg(1000, 1, 20.0);
+        let mut p = DesPolicy::new();
+        let (report, _) = Simulator::run(&c, &mut p, &jobs);
+        assert_eq!(report.jobs_total, 1);
+    }
+
+    #[test]
+    fn horizon_settles_in_flight_jobs() {
+        // Deadline beyond the horizon: settled at the horizon with partial
+        // progress.
+        let jobs = JobSet::new(vec![job(0, 0, 5000, 2000.0)]).unwrap();
+        let c = cfg(1000, 1, 20.0); // 2 GHz max → ≤ 2000 units in 1 s
+        let mut p = DesPolicy::new();
+        let (report, _) = Simulator::run(&c, &mut p, &jobs);
+        assert_eq!(report.jobs_total, 1);
+        assert_eq!(report.jobs_satisfied + report.jobs_partial, 1);
+        assert!(report.total_quality > 0.0);
+    }
+
+    #[test]
+    fn quantum_trigger_fires_repeatedly() {
+        let jobs = JobSet::new(vec![job(0, 0, 900, 10.0)]).unwrap();
+        let c = cfg(2000, 1, 20.0);
+        let mut p = DesPolicy::new(); // 500 ms quantum
+        let (report, _) = Simulator::run(&c, &mut p, &jobs);
+        // Quantum fires at 500/1000/1500/2000 ms; idle triggers add more.
+        assert!(report.invocations >= 4, "{}", report.invocations);
+        assert_eq!(report.jobs_satisfied, 1);
+    }
+
+    #[test]
+    fn counter_trigger_batches_arrivals() {
+        // Jobs 0–3 occupy the 4 cores (idle triggers); jobs 4–11 arrive
+        // while every core is busy, so nothing but the counter (8) can
+        // fire before their deadlines — and it must, on the 8th waiter.
+        let mut v: Vec<Job> = (0..4).map(|i| job(i, 0, 150, 10.0)).collect();
+        v.extend((4..12).map(|i| job(i, 10 + (i as u64 - 4), 300, 10.0)));
+        let jobs = JobSet::new(v).unwrap();
+        let c = cfg(1000, 4, 40.0);
+        let mut p = DesPolicy::new();
+        let (report, _) = Simulator::run(&c, &mut p, &jobs);
+        assert_eq!(report.jobs_satisfied, 12);
+        assert!(report.invocations >= 2);
+    }
+
+    #[test]
+    fn energy_never_exceeds_budget_times_time() {
+        let jobs = JobSet::new(
+            (0..40)
+                .map(|i| job(i, (i as u64) * 5, (i as u64) * 5 + 150, 300.0))
+                .collect(),
+        )
+        .unwrap();
+        let c = cfg(1000, 4, 40.0);
+        let mut p = DesPolicy::new();
+        let (report, _) = Simulator::run(&c, &mut p, &jobs);
+        assert!(report.energy_joules <= 40.0 * 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn non_partial_jobs_all_or_nothing() {
+        // Overloaded core with non-partial jobs: quality comes only from
+        // fully finished ones.
+        let mut j0 = job(0, 0, 100, 150.0);
+        let mut j1 = job(1, 0, 100, 150.0);
+        j0.partial = false;
+        j1.partial = false;
+        let jobs = JobSet::new(vec![j0, j1]).unwrap();
+        let c = cfg(500, 1, 5.0); // 1 GHz → 100 units capacity
+        let mut p = DesPolicy::new();
+        let (report, _) = Simulator::run(&c, &mut p, &jobs);
+        // Neither can finish 150 units in 100 ms at 1 GHz… so both end up
+        // discarded or zero; quality 0.
+        assert_eq!(report.jobs_satisfied, 0);
+        assert_eq!(report.total_quality, 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulation results.
+
+/// Aggregate metrics of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Policy name (e.g. `"DES/C-DVFS"`, `"FCFS+WF"`).
+    pub policy: String,
+    /// Total quality `Q = Σ f(p_j)` over every arrived job.
+    pub total_quality: f64,
+    /// Maximum possible quality `Σ f(w_j)` (every job fully executed).
+    pub max_quality: f64,
+    /// Total *dynamic* energy in joules, including ambient draw of
+    /// non-gating architectures.
+    pub energy_joules: f64,
+    /// Jobs that arrived within the simulated horizon.
+    pub jobs_total: usize,
+    /// Jobs fully processed (`p_j = w_j`).
+    pub jobs_satisfied: usize,
+    /// Jobs partially processed (`0 < p_j < w_j`).
+    pub jobs_partial: usize,
+    /// Jobs that never ran.
+    pub jobs_zero: usize,
+    /// Jobs abandoned by the policy (subset of partial/zero).
+    pub jobs_discarded: usize,
+    /// Policy invocations performed.
+    pub invocations: u64,
+    /// Simulated horizon in seconds.
+    pub sim_seconds: f64,
+}
+
+impl SimReport {
+    /// Quality normalized against the maximum possible (the paper's
+    /// y-axis in every quality figure). 1.0 for an empty run.
+    pub fn normalized_quality(&self) -> f64 {
+        if self.max_quality > 0.0 {
+            self.total_quality / self.max_quality
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of jobs fully satisfied.
+    pub fn satisfaction_rate(&self) -> f64 {
+        if self.jobs_total > 0 {
+            self.jobs_satisfied as f64 / self.jobs_total as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean dynamic power over the horizon (W).
+    pub fn mean_power(&self) -> f64 {
+        if self.sim_seconds > 0.0 {
+            self.energy_joules / self.sim_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The composite ⟨quality, energy⟩ score (§II-C).
+    pub fn quality_energy(&self) -> qes_core::QualityEnergy {
+        qes_core::QualityEnergy::new(self.total_quality, self.energy_joules)
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: quality {:.4} ({:.2}%), energy {:.1} J, jobs {} (sat {}, part {}, zero {}, disc {}), {} invocations over {:.0} s",
+            self.policy,
+            self.total_quality,
+            100.0 * self.normalized_quality(),
+            self.energy_joules,
+            self.jobs_total,
+            self.jobs_satisfied,
+            self.jobs_partial,
+            self.jobs_zero,
+            self.jobs_discarded,
+            self.invocations,
+            self.sim_seconds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_rates() {
+        let r = SimReport {
+            policy: "test".into(),
+            total_quality: 90.0,
+            max_quality: 100.0,
+            energy_joules: 500.0,
+            jobs_total: 10,
+            jobs_satisfied: 7,
+            jobs_partial: 2,
+            jobs_zero: 1,
+            jobs_discarded: 0,
+            invocations: 42,
+            sim_seconds: 10.0,
+        };
+        assert!((r.normalized_quality() - 0.9).abs() < 1e-12);
+        assert!((r.satisfaction_rate() - 0.7).abs() < 1e-12);
+        assert!((r.mean_power() - 50.0).abs() < 1e-12);
+        let s = r.to_string();
+        assert!(s.contains("90.00%"));
+    }
+
+    #[test]
+    fn empty_run_defaults() {
+        let r = SimReport::default();
+        assert_eq!(r.normalized_quality(), 1.0);
+        assert_eq!(r.satisfaction_rate(), 1.0);
+        assert_eq!(r.mean_power(), 0.0);
+    }
+}

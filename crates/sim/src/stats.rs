@@ -1,0 +1,198 @@
+//! Detailed per-job and per-core statistics.
+//!
+//! The paper's two headline metrics (total quality, total energy) hide a
+//! lot of structure an operator cares about: how per-job quality is
+//! distributed, how long requests actually took, and how evenly the cores
+//! were used. [`DetailedStats`] collects those from per-job outcomes the
+//! engine records when asked.
+
+use qes_core::job::JobId;
+use qes_core::time::SimTime;
+
+/// The final outcome of one job.
+#[derive(Clone, Copy, Debug)]
+pub struct JobOutcome {
+    /// Which job.
+    pub id: JobId,
+    /// Release time.
+    pub release: SimTime,
+    /// When the job's quality was settled (completion, deadline, discard
+    /// or horizon).
+    pub settled: SimTime,
+    /// Volume processed over its lifetime.
+    pub processed: f64,
+    /// Full service demand.
+    pub demand: f64,
+    /// Quality earned.
+    pub quality: f64,
+}
+
+impl JobOutcome {
+    /// Response time: settle instant minus release.
+    pub fn response_secs(&self) -> f64 {
+        self.settled.saturating_since(self.release).as_secs_f64()
+    }
+
+    /// Fraction of the demand that was processed.
+    pub fn completion(&self) -> f64 {
+        if self.demand > 0.0 {
+            (self.processed / self.demand).min(1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Aggregated distributional statistics over a simulation.
+#[derive(Clone, Debug, Default)]
+pub struct DetailedStats {
+    outcomes: Vec<JobOutcome>,
+    busy_us: Vec<u64>,
+    horizon: SimTime,
+}
+
+impl DetailedStats {
+    /// Create with the core count and horizon known up front.
+    pub fn new(num_cores: usize, horizon: SimTime) -> Self {
+        DetailedStats {
+            outcomes: Vec::new(),
+            busy_us: vec![0; num_cores],
+            horizon,
+        }
+    }
+
+    /// Record one settled job.
+    pub fn record(&mut self, o: JobOutcome) {
+        self.outcomes.push(o);
+    }
+
+    /// Account busy time on a core.
+    pub fn add_busy(&mut self, core: usize, us: u64) {
+        if let Some(b) = self.busy_us.get_mut(core) {
+            *b += us;
+        }
+    }
+
+    /// All job outcomes, in settle order.
+    pub fn outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// Per-core utilization (busy fraction of the horizon).
+    pub fn core_utilization(&self) -> Vec<f64> {
+        let h = self.horizon.as_micros().max(1) as f64;
+        self.busy_us.iter().map(|&b| b as f64 / h).collect()
+    }
+
+    /// Largest minus smallest core utilization — the imbalance C-RR is
+    /// supposed to keep small.
+    pub fn utilization_spread(&self) -> f64 {
+        let u = self.core_utilization();
+        let lo = u.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = u.iter().cloned().fold(0.0, f64::max);
+        if lo.is_finite() {
+            hi - lo
+        } else {
+            0.0
+        }
+    }
+
+    /// The `p`-quantile (0 ≤ p ≤ 1) of per-job quality, by linear
+    /// interpolation; `None` with no jobs.
+    pub fn quality_quantile(&self, p: f64) -> Option<f64> {
+        quantile(self.outcomes.iter().map(|o| o.quality), p)
+    }
+
+    /// The `p`-quantile of per-job completion fraction.
+    pub fn completion_quantile(&self, p: f64) -> Option<f64> {
+        quantile(self.outcomes.iter().map(|o| o.completion()), p)
+    }
+
+    /// The `p`-quantile of response time in seconds.
+    pub fn response_quantile(&self, p: f64) -> Option<f64> {
+        quantile(self.outcomes.iter().map(|o| o.response_secs()), p)
+    }
+
+    /// Mean per-job quality.
+    pub fn mean_quality(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.quality).sum::<f64>() / self.outcomes.len() as f64
+    }
+}
+
+fn quantile(values: impl Iterator<Item = f64>, p: f64) -> Option<f64> {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p = p.clamp(0.0, 1.0);
+    let pos = p * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(v[lo] + frac * (v[hi] - v[lo]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(q: f64, done: f64, demand: f64, resp_ms: u64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(0),
+            release: SimTime::ZERO,
+            settled: SimTime::from_millis(resp_ms),
+            processed: done,
+            demand,
+            quality: q,
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut s = DetailedStats::new(2, SimTime::from_secs(1));
+        for &(q, r) in &[(0.1, 10u64), (0.5, 20), (0.9, 30)] {
+            s.record(outcome(q, 50.0, 100.0, r));
+        }
+        assert!((s.quality_quantile(0.0).unwrap() - 0.1).abs() < 1e-12);
+        assert!((s.quality_quantile(0.5).unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.quality_quantile(1.0).unwrap() - 0.9).abs() < 1e-12);
+        assert!((s.quality_quantile(0.25).unwrap() - 0.3).abs() < 1e-12);
+        assert!((s.response_quantile(0.5).unwrap() - 0.020).abs() < 1e-9);
+        assert!((s.mean_quality() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let s = DetailedStats::new(2, SimTime::from_secs(1));
+        assert!(s.quality_quantile(0.5).is_none());
+        assert_eq!(s.mean_quality(), 0.0);
+        assert_eq!(s.utilization_spread(), 0.0);
+        assert_eq!(s.core_utilization(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut s = DetailedStats::new(2, SimTime::from_secs(1));
+        s.add_busy(0, 500_000); // 0.5 s
+        s.add_busy(1, 250_000);
+        s.add_busy(9, 1); // out of range: ignored
+        let u = s.core_utilization();
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 0.25).abs() < 1e-12);
+        assert!((s.utilization_spread() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_and_response() {
+        let o = outcome(0.4, 75.0, 100.0, 120);
+        assert!((o.completion() - 0.75).abs() < 1e-12);
+        assert!((o.response_secs() - 0.12).abs() < 1e-12);
+        // Zero-demand job counts as complete.
+        let z = outcome(0.0, 0.0, 0.0, 1);
+        assert_eq!(z.completion(), 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Execution-trace validation.
+//!
+//! [`qes_core::Schedule::validate`] checks a *planned* schedule; this
+//! module checks what a simulation *actually executed*. Every model
+//! constraint of §II is verified against the recorded [`SimTrace`]:
+//! windows, per-core non-overlap, non-migration, demand caps, and the
+//! instantaneous power budget across all cores. The integration tests use
+//! it, and it is public so downstream policy authors can fuzz their own
+//! schedulers against the same rules.
+
+use std::collections::HashMap;
+
+use qes_core::error::QesError;
+use qes_core::job::{JobId, JobSet};
+use qes_core::power::PowerModel;
+use qes_core::time::SimTime;
+
+use crate::trace::SimTrace;
+
+/// Summary of a validated trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Slices checked.
+    pub slices: usize,
+    /// Distinct jobs that executed.
+    pub jobs_executed: usize,
+    /// Peak instantaneous total dynamic power observed (W).
+    pub peak_power: f64,
+    /// Total volume executed (units).
+    pub total_volume: f64,
+}
+
+/// Validate every §II constraint over an executed trace.
+///
+/// `power_eps` absorbs floating-point slack in the budget check;
+/// `vol_eps` (units) absorbs µs quantization in the per-job demand cap.
+pub fn validate_trace(
+    trace: &SimTrace,
+    jobs: &JobSet,
+    num_cores: usize,
+    model: &dyn PowerModel,
+    budget: f64,
+    vol_eps: f64,
+    power_eps: f64,
+) -> Result<TraceSummary, QesError> {
+    let mut per_core: Vec<Vec<(SimTime, SimTime, f64)>> = vec![Vec::new(); num_cores];
+    let mut home: HashMap<JobId, usize> = HashMap::new();
+    let mut volumes: HashMap<JobId, f64> = HashMap::new();
+    let mut summary = TraceSummary {
+        slices: trace.len(),
+        ..TraceSummary::default()
+    };
+
+    for s in trace.slices() {
+        let job = jobs.get(s.job).ok_or(QesError::UnknownJob { job: s.job })?;
+        // Window containment.
+        if s.start < job.release || s.end > job.deadline {
+            return Err(QesError::SliceOutsideWindow {
+                job: s.job,
+                core: s.core,
+            });
+        }
+        // Non-migration.
+        match home.get(&s.job) {
+            Some(&c0) if c0 != s.core => {
+                return Err(QesError::Migration {
+                    job: s.job,
+                    first_core: c0,
+                    second_core: s.core,
+                });
+            }
+            None => {
+                home.insert(s.job, s.core);
+            }
+            _ => {}
+        }
+        if s.core >= num_cores {
+            return Err(QesError::BadParameter {
+                what: "trace core index",
+                value: s.core as f64,
+            });
+        }
+        per_core[s.core].push((s.start, s.end, s.speed));
+        *volumes.entry(s.job).or_insert(0.0) += s.volume();
+        summary.total_volume += s.volume();
+    }
+
+    // Per-core non-overlap.
+    for (core, v) in per_core.iter_mut().enumerate() {
+        v.sort_by_key(|&(a, _, _)| a);
+        for w in v.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(QesError::OverlappingSlices { core, at: w[1].0 });
+            }
+        }
+    }
+
+    // Demand caps.
+    for (&id, &v) in &volumes {
+        let job = jobs.get(id).expect("checked above");
+        if v > job.demand + vol_eps {
+            return Err(QesError::OverProcessed {
+                job: id,
+                processed: v,
+                demand: job.demand,
+            });
+        }
+    }
+    summary.jobs_executed = volumes.len();
+
+    // Instantaneous power across cores, swept at every slice boundary
+    // (power is piecewise constant between boundaries).
+    let mut instants: Vec<SimTime> = trace
+        .slices()
+        .iter()
+        .flat_map(|s| [s.start, s.end])
+        .collect();
+    instants.sort();
+    instants.dedup();
+    let speed_at = |v: &[(SimTime, SimTime, f64)], t: SimTime| -> f64 {
+        let i = v.partition_point(|&(_, e, _)| e <= t);
+        match v.get(i) {
+            Some(&(a, _, sp)) if a <= t => sp,
+            _ => 0.0,
+        }
+    };
+    for &t in &instants {
+        let p: f64 = per_core
+            .iter()
+            .map(|v| model.dynamic_power(speed_at(v, t)))
+            .sum();
+        summary.peak_power = summary.peak_power.max(p);
+        if p > budget + power_eps {
+            return Err(QesError::PowerBudgetExceeded {
+                at: t,
+                power: p,
+                budget,
+            });
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSlice;
+    use qes_core::job::Job;
+    use qes_core::power::PolynomialPower;
+
+    const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn jobs() -> JobSet {
+        JobSet::new(vec![
+            Job::new(0, ms(0), ms(150), 200.0).unwrap(),
+            Job::new(1, ms(10), ms(160), 150.0).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn slice(core: usize, j: u32, a: u64, b: u64, s: f64) -> TraceSlice {
+        TraceSlice {
+            core,
+            job: JobId(j),
+            start: ms(a),
+            end: ms(b),
+            speed: s,
+        }
+    }
+
+    #[test]
+    fn valid_trace_summarizes() {
+        let mut t = SimTrace::default();
+        t.push(slice(0, 0, 0, 100, 2.0));
+        t.push(slice(1, 1, 10, 110, 1.5));
+        let s = validate_trace(&t, &jobs(), 2, &MODEL, 40.0, 0.1, 1e-6).unwrap();
+        assert_eq!(s.slices, 2);
+        assert_eq!(s.jobs_executed, 2);
+        assert!((s.peak_power - (20.0 + 11.25)).abs() < 1e-9);
+        assert!((s.total_volume - 350.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn catches_migration() {
+        let mut t = SimTrace::default();
+        t.push(slice(0, 0, 0, 50, 1.0));
+        t.push(slice(1, 0, 60, 100, 1.0));
+        assert!(matches!(
+            validate_trace(&t, &jobs(), 2, &MODEL, 40.0, 0.1, 1e-6),
+            Err(QesError::Migration { .. })
+        ));
+    }
+
+    #[test]
+    fn catches_budget_violation() {
+        let mut t = SimTrace::default();
+        t.push(slice(0, 0, 0, 100, 2.0));
+        // 75 ms at 2 GHz = 150 units: exactly job 1's demand, so only the
+        // power constraint can trip.
+        t.push(slice(1, 1, 10, 85, 2.0));
+        assert!(matches!(
+            validate_trace(&t, &jobs(), 2, &MODEL, 30.0, 0.1, 1e-6),
+            Err(QesError::PowerBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn catches_overlap_window_and_overprocessing() {
+        // Overlap on one core.
+        let mut t = SimTrace::default();
+        t.push(slice(0, 0, 0, 60, 1.0));
+        t.push(slice(0, 1, 50, 100, 1.0));
+        assert!(matches!(
+            validate_trace(&t, &jobs(), 2, &MODEL, 40.0, 0.1, 1e-6),
+            Err(QesError::OverlappingSlices { .. })
+        ));
+        // Outside the window.
+        let mut t = SimTrace::default();
+        t.push(slice(0, 1, 0, 20, 1.0)); // job 1 releases at 10 ms
+        assert!(matches!(
+            validate_trace(&t, &jobs(), 2, &MODEL, 40.0, 0.1, 1e-6),
+            Err(QesError::SliceOutsideWindow { .. })
+        ));
+        // Over-processed (job 0 demands 200; 2 GHz × 150 ms = 300).
+        let mut t = SimTrace::default();
+        t.push(slice(0, 0, 0, 150, 2.0));
+        assert!(matches!(
+            validate_trace(&t, &jobs(), 2, &MODEL, 40.0, 0.1, 1e-6),
+            Err(QesError::OverProcessed { .. })
+        ));
+    }
+
+    #[test]
+    fn catches_unknown_job_and_bad_core() {
+        let mut t = SimTrace::default();
+        t.push(slice(0, 99, 0, 10, 1.0));
+        assert!(matches!(
+            validate_trace(&t, &jobs(), 2, &MODEL, 40.0, 0.1, 1e-6),
+            Err(QesError::UnknownJob { .. })
+        ));
+        let mut t = SimTrace::default();
+        t.push(slice(7, 0, 0, 10, 1.0));
+        assert!(matches!(
+            validate_trace(&t, &jobs(), 2, &MODEL, 40.0, 0.1, 1e-6),
+            Err(QesError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_is_trivially_valid() {
+        let s = validate_trace(&SimTrace::default(), &jobs(), 2, &MODEL, 0.0, 0.1, 1e-6).unwrap();
+        assert_eq!(s.slices, 0);
+        assert_eq!(s.peak_power, 0.0);
+    }
+}

@@ -1,0 +1,447 @@
+//! **Online-QE** — myopic optimal online scheduling (paper §III-B).
+//!
+//! Online-QE recomputes a QE-OPT schedule over the *currently ready* jobs
+//! whenever a triggering event fires. The subtlety is work already
+//! performed: a job with processed volume `p̄` must have that sunk work
+//! accounted for when Quality-OPT equalizes volumes. The paper's trick is
+//! to rewind the job's release time to `t − p̄/s*` before step 1 — giving
+//! the job phantom capacity exactly equal to its sunk work — and then,
+//! after step 1 fixes the total volume `p`, trim the demand to the
+//! *remainder* `p − p̄` and re-release at `t` for the Energy-OPT step. The
+//! emitted schedule therefore lives entirely in the future.
+//!
+//! The paper rewinds only the one currently running job; we generalize the
+//! same rewind to every ready job with prior progress, since under grouped
+//! scheduling (§IV-E) a previously deprived job can remain ready with
+//! partial progress. With a single in-progress job this reduces exactly to
+//! the paper's construction. The feasibility argument survives: for any
+//! deadline `d`, Quality-OPT bounds the allocated volume of jobs due by
+//! `d` to the capacity of `[min adjusted release, d]`, which exceeds the
+//! true future capacity by at most `max_j p̄_j / s*` — less than the total
+//! sunk volume — so remaining demands always fit after `t`.
+//!
+//! Non-partial jobs (§V-D): if the myopic plan cannot complete such a job
+//! in full, it is discarded and the plan recomputed without it, iterating
+//! until stable.
+//!
+//! Each invocation may use a different power budget — required when DES's
+//! water-filling hands each core a new power share (§IV-C).
+
+use std::collections::HashMap;
+
+use qes_core::job::{Job, JobId, JobSet};
+use qes_core::power::PowerModel;
+use qes_core::schedule::CoreSchedule;
+use qes_core::time::SimTime;
+
+use crate::energy_opt::energy_opt;
+use crate::quality_opt::quality_opt;
+
+/// A job visible to the scheduler at invocation time, with its progress.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadyJob {
+    /// The job (original release, deadline, full demand).
+    pub job: Job,
+    /// Volume already processed before this invocation.
+    pub processed: f64,
+}
+
+impl ReadyJob {
+    /// A job with no prior progress.
+    pub fn fresh(job: Job) -> Self {
+        ReadyJob {
+            job,
+            processed: 0.0,
+        }
+    }
+
+    /// Remaining demand.
+    pub fn remaining(&self) -> f64 {
+        (self.job.demand - self.processed).max(0.0)
+    }
+}
+
+/// Output of one [`online_qe`] invocation.
+#[derive(Clone, Debug)]
+pub struct OnlineQeOutcome {
+    /// Slices from `now` onward realizing the myopic plan.
+    pub schedule: CoreSchedule,
+    /// Planned *total* volume per job (sunk + future).
+    pub planned_total: HashMap<JobId, f64>,
+    /// Non-partial jobs discarded because the plan cannot finish them.
+    pub discarded: Vec<JobId>,
+    /// The maximum speed `s*` implied by this invocation's budget.
+    pub max_speed: f64,
+}
+
+impl OnlineQeOutcome {
+    /// Planned total volume for `id` (its sunk volume if no future work).
+    pub fn planned(&self, id: JobId) -> f64 {
+        self.planned_total.get(&id).copied().unwrap_or(0.0)
+    }
+}
+
+/// How the budget-bounded step realizes the myopic volumes in time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OnlineMode {
+    /// The §III-B construction: Energy-OPT reshapes the remainders to the
+    /// slowest feasible speeds. Myopically optimal for ⟨quality, energy⟩
+    /// — the right choice when no further arrivals will contend (light
+    /// load, or a closed job set).
+    #[default]
+    Efficient,
+    /// Spend the whole grant now: run the remainders EDF at `s_max`.
+    /// Under sustained overload the stretched slack of `Efficient` is
+    /// immediately re-consumed by new arrivals, losing quality for an
+    /// energy saving the lexicographic metric does not want; DES uses
+    /// this mode whenever water-filling is engaged, which reproduces the
+    /// paper's measured behaviour (C-DVFS quality ≥ S-DVFS at all loads,
+    /// equal energy under overload — Fig. 3).
+    Eager,
+}
+
+/// Run one Online-QE invocation at time `now` over `ready` jobs with
+/// dynamic power budget `budget` (W), in [`OnlineMode::Efficient`] mode.
+///
+/// Jobs whose deadline is not after `now`, or that are already complete,
+/// are ignored (their `planned_total` reports the sunk volume).
+pub fn online_qe(
+    now: SimTime,
+    ready: &[ReadyJob],
+    model: &dyn PowerModel,
+    budget: f64,
+) -> OnlineQeOutcome {
+    online_qe_with_mode(now, ready, model, budget, OnlineMode::Efficient)
+}
+
+/// [`online_qe`] with an explicit realization mode.
+pub fn online_qe_with_mode(
+    now: SimTime,
+    ready: &[ReadyJob],
+    model: &dyn PowerModel,
+    budget: f64,
+    mode: OnlineMode,
+) -> OnlineQeOutcome {
+    let mut planned_total: HashMap<JobId, f64> = ready
+        .iter()
+        .map(|r| (r.job.id, r.processed.min(r.job.demand)))
+        .collect();
+    let s_max = model.speed_for_dynamic_power(budget);
+    if s_max <= 0.0 {
+        return OnlineQeOutcome {
+            schedule: CoreSchedule::default(),
+            planned_total,
+            discarded: vec![],
+            max_speed: 0.0,
+        };
+    }
+
+    let mut active: Vec<ReadyJob> = ready
+        .iter()
+        .filter(|r| r.job.deadline > now && r.remaining() > 1e-9)
+        .copied()
+        .collect();
+    let mut discarded = Vec::new();
+
+    // Iterate the §V-D discard loop for non-partial jobs.
+    let volumes = loop {
+        if active.is_empty() {
+            break HashMap::new();
+        }
+        let volumes = myopic_volumes(now, &active, s_max);
+        // Discard at most one unfinishable non-partial job per round (the
+        // one with the largest shortfall), then recompute: discarding frees
+        // capacity that may rescue the others.
+        let worst = active
+            .iter()
+            .filter_map(|r| {
+                let p = volumes.get(&r.job.id).copied().unwrap_or(0.0);
+                let shortfall = r.job.demand - p;
+                (!r.job.partial && shortfall > 1e-6).then_some((r.job.id, shortfall))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        match worst {
+            Some((id, _)) => {
+                discarded.push(id);
+                active.retain(|r| r.job.id != id);
+            }
+            None => break volumes,
+        }
+    };
+
+    // Trim to the future remainder and re-release at `now`. The myopic
+    // volumes are feasible at `s_max` up to µs rounding of the rewound
+    // releases; clamp the remainders to *exact* EDF feasibility at `s_max`
+    // so the Energy-OPT step can never exceed the budget.
+    let mut trimmed: Vec<Job> = active
+        .iter()
+        .filter_map(|r| {
+            let p = volumes.get(&r.job.id).copied().unwrap_or(0.0);
+            let future = p - r.processed;
+            (future > 1e-9).then_some(Job {
+                release: now,
+                demand: future,
+                ..r.job
+            })
+        })
+        .collect();
+    trimmed.sort_by_key(|j| (j.deadline, j.id));
+    let units_per_us = s_max / 1000.0;
+    let mut cum = 0.0;
+    for j in &mut trimmed {
+        let cap = j.deadline.saturating_since(now).as_micros() as f64 * units_per_us;
+        let excess = (cum + j.demand - cap).max(0.0);
+        j.demand = (j.demand - excess).max(0.0);
+        cum += j.demand;
+    }
+    trimmed.retain(|j| j.demand > 1e-9);
+    let schedule = match mode {
+        OnlineMode::Efficient => {
+            let e = energy_opt(&JobSet::new_unchecked(trimmed));
+            debug_assert!(
+                e.initial_speed() <= s_max + 1e-3,
+                "budget violated by Online-QE: {} > {}",
+                e.initial_speed(),
+                s_max
+            );
+            e.schedule
+        }
+        OnlineMode::Eager => {
+            // Run the remainders back-to-back at `s_max` (EDF order — the
+            // sort above). The grant is fully spent on quality now; the
+            // slack Energy-OPT would have created is worthless under
+            // sustained arrivals, which is exactly when the budget binds.
+            let us_per_unit = 1000.0 / s_max;
+            let mut slices = Vec::with_capacity(trimmed.len());
+            let mut cur = now.as_micros() as f64;
+            for j in &trimmed {
+                let start = cur;
+                let end = start + j.demand * us_per_unit;
+                cur = end;
+                let si = SimTime::from_micros(start.round() as u64);
+                let ei = SimTime::from_micros((end.round() as u64).min(j.deadline.as_micros()));
+                if ei > si {
+                    slices.push(qes_core::schedule::Slice {
+                        job: j.id,
+                        start: si,
+                        end: ei,
+                        speed: s_max,
+                    });
+                }
+            }
+            CoreSchedule::new(slices)
+        }
+    };
+    // Planned totals: sunk work plus what the schedule will actually run.
+    for (id, v) in schedule.volumes() {
+        if let Some(t) = planned_total.get_mut(&id) {
+            *t += v;
+        }
+    }
+    OnlineQeOutcome {
+        schedule,
+        planned_total,
+        discarded,
+        max_speed: s_max,
+    }
+}
+
+/// Step 1 of Online-QE: Quality-OPT at `s_max` over the ready jobs with
+/// rewound releases; returns planned *total* volumes (sunk + future).
+///
+/// Public because the No-DVFS / S-DVFS architecture models (§V-A) reuse
+/// exactly this quality step at a fixed speed, skipping the Energy-OPT
+/// step.
+pub fn myopic_volumes(now: SimTime, active: &[ReadyJob], s_max: f64) -> HashMap<JobId, f64> {
+    let us_per_unit = 1000.0 / s_max;
+    // Adjusted release in (possibly negative) f64 µs.
+    let adj: Vec<f64> = active
+        .iter()
+        .map(|r| now.as_micros() as f64 - r.processed * us_per_unit)
+        .collect();
+    let min_adj = adj.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    // Shift so every adjusted release is ≥ 0 in SimTime.
+    let shift = (-min_adj).max(0.0).ceil();
+    let shifted: Vec<Job> = active
+        .iter()
+        .zip(&adj)
+        .map(|(r, &a)| Job {
+            release: SimTime::from_micros((a + shift).round() as u64),
+            deadline: SimTime::from_micros(r.job.deadline.as_micros() + shift as u64),
+            ..r.job
+        })
+        .collect();
+    let q = quality_opt(&JobSet::new_unchecked(shifted), s_max);
+    q.volumes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qes_core::power::PolynomialPower;
+    use qes_core::schedule::Schedule;
+
+    const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn rj(id: u32, r: u64, d: u64, w: f64, done: f64) -> ReadyJob {
+        ReadyJob {
+            job: Job::new(id, ms(r), ms(d), w).unwrap(),
+            processed: done,
+        }
+    }
+
+    #[test]
+    fn fresh_invocation_matches_qe_opt() {
+        // With no progress and all jobs ready now, Online-QE = QE-OPT.
+        let ready = vec![rj(0, 0, 150, 200.0, 0.0), rj(1, 0, 160, 150.0, 0.0)];
+        let out = online_qe(ms(0), &ready, &MODEL, 20.0);
+        let jobs = JobSet::new(ready.iter().map(|r| r.job).collect()).unwrap();
+        let qe = crate::qe_opt::qe_opt(&jobs, &MODEL, 20.0);
+        for r in &ready {
+            assert!(
+                (out.planned(r.job.id) - qe.volume(r.job.id)).abs() < 0.05,
+                "{:?}",
+                r.job.id
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_lives_in_the_future() {
+        let now = ms(50);
+        let ready = vec![rj(0, 0, 150, 200.0, 60.0), rj(1, 40, 190, 100.0, 0.0)];
+        let out = online_qe(now, &ready, &MODEL, 20.0);
+        for s in out.schedule.slices() {
+            assert!(s.start >= now, "slice starts in the past: {:?}", s);
+        }
+    }
+
+    #[test]
+    fn sunk_work_counts_toward_equalization() {
+        // Two identical overloaded jobs, one with half its work already
+        // done: the plan should spend remaining capacity on the other job
+        // first (equalizing totals), not split evenly.
+        let now = ms(0);
+        let ready = vec![
+            rj(0, 0, 100, 200.0, 80.0), // 80 units sunk
+            rj(1, 0, 100, 200.0, 0.0),
+        ];
+        // Budget 5 W → s* = 1 GHz → 100 units of future capacity.
+        let out = online_qe(now, &ready, &MODEL, 5.0);
+        let t0 = out.planned(JobId(0));
+        let t1 = out.planned(JobId(1));
+        // Totals should equalize: 80 sunk + 100 future = 180 → 90 each.
+        assert!((t0 - 90.0).abs() < 1.0, "t0 = {t0}");
+        assert!((t1 - 90.0).abs() < 1.0, "t1 = {t1}");
+        // Future work: 10 for job 0, 90 for job 1.
+        let vols = out.schedule.volumes();
+        assert!((vols.get(&JobId(1)).copied().unwrap_or(0.0) - 90.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn planned_never_below_sunk() {
+        let now = ms(80);
+        let ready = vec![rj(0, 0, 100, 500.0, 450.0), rj(1, 0, 100, 500.0, 0.0)];
+        let out = online_qe(now, &ready, &MODEL, 5.0);
+        assert!(out.planned(JobId(0)) >= 450.0 - 1e-6);
+    }
+
+    #[test]
+    fn respects_budget_and_windows() {
+        let now = ms(30);
+        let ready = vec![
+            rj(0, 0, 150, 250.0, 40.0),
+            rj(1, 10, 160, 200.0, 0.0),
+            rj(2, 25, 175, 300.0, 0.0),
+        ];
+        let budget = 20.0;
+        let out = online_qe(now, &ready, &MODEL, budget);
+        let jobs = JobSet::new(ready.iter().map(|r| r.job).collect()).unwrap();
+        Schedule::single(out.schedule.clone())
+            .validate_with_tolerance(&jobs, &MODEL, budget, 0.05, 1e-6)
+            .unwrap();
+        // Future volume per job never exceeds remaining demand.
+        let vols = out.schedule.volumes();
+        for r in &ready {
+            let v = vols.get(&r.job.id).copied().unwrap_or(0.0);
+            assert!(v <= r.remaining() + 0.05, "{:?}", r.job.id);
+        }
+    }
+
+    #[test]
+    fn expired_and_complete_jobs_are_ignored() {
+        let now = ms(100);
+        let ready = vec![
+            rj(0, 0, 100, 100.0, 10.0),  // deadline == now → expired
+            rj(1, 0, 200, 100.0, 100.0), // complete
+            rj(2, 0, 200, 100.0, 0.0),
+        ];
+        let out = online_qe(now, &ready, &MODEL, 20.0);
+        let vols = out.schedule.volumes();
+        assert!(!vols.contains_key(&JobId(0)));
+        assert!(!vols.contains_key(&JobId(1)));
+        assert!((out.planned(JobId(1)) - 100.0).abs() < 1e-9);
+        assert!(vols.contains_key(&JobId(2)));
+    }
+
+    #[test]
+    fn non_partial_jobs_discarded_when_unfinishable() {
+        let now = ms(0);
+        // 1 GHz budget (5 W), 100 ms window → 100 units capacity; two
+        // non-partial jobs of 80 each cannot both finish.
+        let mut a = rj(0, 0, 100, 80.0, 0.0);
+        let mut b = rj(1, 0, 100, 80.0, 0.0);
+        a.job.partial = false;
+        b.job.partial = false;
+        let out = online_qe(now, &[a, b], &MODEL, 5.0);
+        // One is discarded, the other completes in full.
+        assert_eq!(out.discarded.len(), 1);
+        let kept = if out.discarded[0] == JobId(0) {
+            JobId(1)
+        } else {
+            JobId(0)
+        };
+        let vols = out.schedule.volumes();
+        assert!((vols[&kept] - 80.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn partial_jobs_not_discarded() {
+        let now = ms(0);
+        let ready = vec![rj(0, 0, 100, 80.0, 0.0), rj(1, 0, 100, 80.0, 0.0)];
+        let out = online_qe(now, &ready, &MODEL, 5.0);
+        assert!(out.discarded.is_empty());
+        // Both get half of the 100-unit capacity.
+        assert!((out.planned(JobId(0)) - 50.0).abs() < 1.0);
+        assert!((out.planned(JobId(1)) - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_budget_plans_nothing() {
+        let ready = vec![rj(0, 0, 100, 50.0, 10.0)];
+        let out = online_qe(ms(0), &ready, &MODEL, 0.0);
+        assert!(out.schedule.is_empty());
+        assert!((out.planned(JobId(0)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn changing_budget_between_invocations_is_sound() {
+        // First invocation at high budget, second at low: the second plan
+        // still respects its (smaller) budget.
+        let ready = vec![rj(0, 0, 150, 300.0, 0.0), rj(1, 0, 150, 300.0, 0.0)];
+        let out1 = online_qe(ms(0), &ready, &MODEL, 45.0); // 3 GHz
+        assert!(out1.max_speed > 2.9);
+        // Pretend 50 units of job 0 ran, then budget drops.
+        let ready2 = vec![rj(0, 0, 150, 300.0, 50.0), rj(1, 0, 150, 300.0, 0.0)];
+        let out2 = online_qe(ms(20), &ready2, &MODEL, 5.0); // 1 GHz
+        let jobs = JobSet::new(ready2.iter().map(|r| r.job).collect()).unwrap();
+        Schedule::single(out2.schedule.clone())
+            .validate_with_tolerance(&jobs, &MODEL, 5.0, 0.05, 1e-6)
+            .unwrap();
+        assert!(out2.schedule.speed_plan().max_speed() <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,202 @@
+//! **QE-OPT** — offline optimal for ⟨quality, energy⟩ (paper §III-A).
+//!
+//! QE-OPT amalgamates Quality-OPT and Energy-OPT:
+//!
+//! 1. run Quality-OPT at the maximum core speed the power budget allows,
+//!    `s* = (H/a)^{1/β}` — this fixes each job's processed volume `p_j`
+//!    and guarantees the maximum achievable total quality;
+//! 2. trim every job's demand to its volume (`w_j ← p_j`) and run
+//!    Energy-OPT on the trimmed set — this picks the slowest feasible
+//!    speeds, minimizing energy without giving up any quality.
+//!
+//! Paper Theorem 1 shows step 2 never needs a speed above `s*` (critical
+//! speeds of the trimmed set are bounded by the fixed speed that produced
+//! it), so the budget is respected; Theorem 2 shows the combination is
+//! optimal under the lexicographic metric.
+
+use std::collections::HashMap;
+
+use qes_core::job::{Job, JobId, JobSet};
+use qes_core::power::PowerModel;
+use qes_core::schedule::CoreSchedule;
+
+use crate::energy_opt::energy_opt;
+use crate::quality_opt::quality_opt;
+
+/// Output of [`qe_opt`].
+#[derive(Clone, Debug)]
+pub struct QeOptResult {
+    /// Variable-speed schedule realizing the optimal volumes with minimum
+    /// energy.
+    pub schedule: CoreSchedule,
+    /// Optimal processed volume per job (from Quality-OPT at `s*`).
+    pub volumes: HashMap<JobId, f64>,
+    /// The maximum speed `s*` implied by the budget.
+    pub max_speed: f64,
+}
+
+impl QeOptResult {
+    /// Processed volume for `id` (0 if never scheduled).
+    pub fn volume(&self, id: JobId) -> f64 {
+        self.volumes.get(&id).copied().unwrap_or(0.0)
+    }
+}
+
+/// Run QE-OPT on `jobs` with dynamic power budget `budget` (W) under
+/// `model`.
+pub fn qe_opt(jobs: &JobSet, model: &dyn PowerModel, budget: f64) -> QeOptResult {
+    let s_max = model.speed_for_dynamic_power(budget);
+    if s_max <= 0.0 {
+        return QeOptResult {
+            schedule: CoreSchedule::default(),
+            volumes: jobs.iter().map(|j| (j.id, 0.0)).collect(),
+            max_speed: 0.0,
+        };
+    }
+    // Step 1: volumes from Quality-OPT at the maximum speed.
+    let q = quality_opt(jobs, s_max);
+    // Step 2: Energy-OPT on the volume-trimmed job set.
+    let trimmed: Vec<Job> = jobs
+        .iter()
+        .filter_map(|j| {
+            let p = q.volume(j.id);
+            (p > 0.0).then_some(Job { demand: p, ..*j })
+        })
+        .collect();
+    let e = energy_opt(&JobSet::new_unchecked(trimmed));
+    debug_assert!(
+        e.initial_speed() <= s_max + 1e-6,
+        "Theorem 1 violated: critical speed {} > s* {}",
+        e.initial_speed(),
+        s_max
+    );
+    QeOptResult {
+        schedule: e.schedule,
+        volumes: q.volumes,
+        max_speed: s_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qes_core::power::PolynomialPower;
+    use qes_core::quality::{ExpQuality, QualityFunction};
+    use qes_core::schedule::Schedule;
+    use qes_core::time::SimTime;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn js(jobs: Vec<Job>) -> JobSet {
+        JobSet::new(jobs).unwrap()
+    }
+
+    const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
+
+    #[test]
+    fn max_speed_from_budget() {
+        let jobs = js(vec![Job::new(0, ms(0), ms(100), 50.0).unwrap()]);
+        let r = qe_opt(&jobs, &MODEL, 20.0);
+        assert!((r.max_speed - 2.0).abs() < 1e-9); // sqrt(20/5)
+    }
+
+    #[test]
+    fn schedule_respects_budget_and_windows() {
+        let jobs = js(vec![
+            Job::new(0, ms(0), ms(150), 200.0).unwrap(),
+            Job::new(1, ms(10), ms(160), 150.0).unwrap(),
+            Job::new(2, ms(30), ms(180), 300.0).unwrap(),
+        ]);
+        let budget = 20.0;
+        let r = qe_opt(&jobs, &MODEL, budget);
+        Schedule::single(r.schedule.clone())
+            .validate_with_tolerance(&jobs, &MODEL, budget, 0.05, 1e-6)
+            .unwrap();
+    }
+
+    #[test]
+    fn underload_satisfies_all_with_less_energy_than_full_speed() {
+        let jobs = js(vec![
+            Job::new(0, ms(0), ms(150), 100.0).unwrap(),
+            Job::new(1, ms(50), ms(200), 80.0).unwrap(),
+        ]);
+        let budget = 20.0; // s* = 2 GHz, plenty
+        let r = qe_opt(&jobs, &MODEL, budget);
+        assert!((r.volume(JobId(0)) - 100.0).abs() < 1e-6);
+        assert!((r.volume(JobId(1)) - 80.0).abs() < 1e-6);
+        // Energy must beat "run at s* whenever busy".
+        let e_opt = r.schedule.energy(&MODEL);
+        let secs_at_full = (100.0 + 80.0) / (2.0 * 1000.0);
+        let e_full = MODEL.dynamic_power(2.0) * secs_at_full;
+        assert!(e_opt < e_full, "{e_opt} !< {e_full}");
+    }
+
+    #[test]
+    fn quality_matches_quality_opt_at_max_speed() {
+        // QE-OPT's quality must equal Quality-OPT's at s* — step 2 only
+        // reshapes speeds (Theorem 2).
+        let jobs = js(vec![
+            Job::new(0, ms(0), ms(100), 300.0).unwrap(),
+            Job::new(1, ms(10), ms(110), 250.0).unwrap(),
+            Job::new(2, ms(20), ms(120), 200.0).unwrap(),
+        ]);
+        let budget = 20.0;
+        let q = ExpQuality::PAPER_DEFAULT;
+        let r = qe_opt(&jobs, &MODEL, budget);
+        let qo = quality_opt(&jobs, 2.0);
+        let quality_qe: f64 = jobs.iter().map(|j| q.job_quality(j, r.volume(j.id))).sum();
+        let quality_qo: f64 = jobs.iter().map(|j| q.job_quality(j, qo.volume(j.id))).sum();
+        assert!((quality_qe - quality_qo).abs() < 1e-9);
+        // And the realized schedule delivers those volumes.
+        let realized = r.schedule.volumes();
+        for (id, &v) in &r.volumes {
+            if v > 0.0 {
+                let got = realized.get(id).copied().unwrap_or(0.0);
+                assert!((got - v).abs() < 0.05, "{id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_schedules_nothing() {
+        let jobs = js(vec![Job::new(0, ms(0), ms(100), 50.0).unwrap()]);
+        let r = qe_opt(&jobs, &MODEL, 0.0);
+        assert!(r.schedule.is_empty());
+        assert_eq!(r.volume(JobId(0)), 0.0);
+    }
+
+    #[test]
+    fn more_budget_never_reduces_quality() {
+        let jobs = js(vec![
+            Job::new(0, ms(0), ms(80), 250.0).unwrap(),
+            Job::new(1, ms(10), ms(90), 250.0).unwrap(),
+            Job::new(2, ms(20), ms(100), 250.0).unwrap(),
+        ]);
+        let q = ExpQuality::PAPER_DEFAULT;
+        let mut prev = -1.0;
+        for &h in &[5.0, 10.0, 20.0, 40.0, 80.0] {
+            let r = qe_opt(&jobs, &MODEL, h);
+            let total: f64 = jobs.iter().map(|j| q.job_quality(j, r.volume(j.id))).sum();
+            assert!(total >= prev - 1e-9, "quality dropped at H={h}");
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn energy_grows_with_satisfied_volume_under_overload() {
+        // Under overload the whole budget window is in use; energy should
+        // track the amount of work completed, never exceed budget·time.
+        let jobs = js(vec![
+            Job::new(0, ms(0), ms(100), 400.0).unwrap(),
+            Job::new(1, ms(0), ms(100), 400.0).unwrap(),
+        ]);
+        let budget = 20.0;
+        let r = qe_opt(&jobs, &MODEL, budget);
+        let e = r.schedule.energy(&MODEL);
+        assert!(e <= budget * 0.1 + 1e-9); // 100 ms window
+                                           // Overloaded: energy should be the full budget over the window.
+        assert!(e > budget * 0.1 * 0.99, "expected saturation, got {e}");
+    }
+}

@@ -1,0 +1,427 @@
+//! Virtual/real timeline machinery for interval-extraction algorithms.
+//!
+//! Both Energy-OPT and Quality-OPT repeatedly pick an interval, schedule
+//! the jobs fully contained in it, and then "remove" the interval: the
+//! windows of all remaining jobs contract as if the interval never existed
+//! (the paper: "removes the interval … adjusts the release time and the
+//! deadline for other jobs that partially overlap").
+//!
+//! Rather than rewriting job windows *and* separately remembering where
+//! extracted work sits in real time, we keep two coordinate systems:
+//!
+//! * **virtual time** — the compressed axis the recursion reasons about
+//!   (contiguous, gap-free `u64` microseconds);
+//! * **real time** — simulation time where emitted slices must land.
+//!
+//! [`VirtualMap`] is the strictly increasing, piecewise slope-1 map from
+//! virtual to real. Cutting `[a, b)` out of virtual time removes the
+//! corresponding real span(s) from the map and shifts later virtual
+//! coordinates left. Job windows live in virtual coordinates ([`VJob`])
+//! and compress with [`compress_point`].
+
+use qes_core::job::JobId;
+
+/// A job expressed in virtual coordinates.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct VJob {
+    /// Owning job id.
+    pub id: JobId,
+    /// Virtual release (µs).
+    pub r: u64,
+    /// Virtual deadline (µs).
+    pub d: u64,
+    /// Remaining service demand (processing units).
+    pub w: f64,
+}
+
+/// Compress a virtual coordinate after cutting `[a, b)`.
+#[inline]
+pub(crate) fn compress_point(t: u64, a: u64, b: u64) -> u64 {
+    if t <= a {
+        t
+    } else if t < b {
+        a
+    } else {
+        t - (b - a)
+    }
+}
+
+/// One maximal contiguous stretch where virtual and real time advance
+/// together.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct MapSeg {
+    /// Virtual start.
+    v: u64,
+    /// Real start.
+    r: u64,
+    /// Length in µs.
+    len: u64,
+}
+
+/// A strictly increasing piecewise slope-1 map from virtual time to real
+/// time.
+#[derive(Clone, Debug)]
+pub(crate) struct VirtualMap {
+    segs: Vec<MapSeg>,
+}
+
+impl VirtualMap {
+    /// Identity map: virtual `[0, horizon)` onto real `[origin, origin+horizon)`.
+    pub fn identity(origin: u64, horizon: u64) -> Self {
+        VirtualMap {
+            segs: vec![MapSeg {
+                v: 0,
+                r: origin,
+                len: horizon,
+            }],
+        }
+    }
+
+    /// Total remaining virtual extent.
+    #[cfg(test)]
+    pub fn extent(&self) -> u64 {
+        self.segs.iter().map(|s| s.len).sum()
+    }
+
+    /// Real sub-intervals corresponding to virtual `[a, b)`, in order.
+    pub fn real_segments(&self, a: u64, b: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if b <= a {
+            return out;
+        }
+        for s in &self.segs {
+            let v_end = s.v + s.len;
+            if v_end <= a {
+                continue;
+            }
+            if s.v >= b {
+                break;
+            }
+            let lo = a.max(s.v);
+            let hi = b.min(v_end);
+            let off = lo - s.v;
+            out.push((s.r + off, s.r + off + (hi - lo)));
+        }
+        out
+    }
+
+    /// Remove virtual `[a, b)` from the map; later virtual coordinates
+    /// shift left by `b − a`.
+    pub fn cut(&mut self, a: u64, b: u64) {
+        if b <= a {
+            return;
+        }
+        let gap = b - a;
+        let mut out = Vec::with_capacity(self.segs.len() + 1);
+        for s in &self.segs {
+            let v_end = s.v + s.len;
+            if v_end <= a {
+                // Entirely before the cut.
+                out.push(*s);
+            } else if s.v >= b {
+                // Entirely after: shift left.
+                out.push(MapSeg {
+                    v: s.v - gap,
+                    r: s.r,
+                    len: s.len,
+                });
+            } else {
+                // Overlaps the cut; keep the prefix and/or suffix.
+                if s.v < a {
+                    out.push(MapSeg {
+                        v: s.v,
+                        r: s.r,
+                        len: a - s.v,
+                    });
+                }
+                if v_end > b {
+                    let off = b - s.v;
+                    out.push(MapSeg {
+                        v: a,
+                        r: s.r + off,
+                        len: v_end - b,
+                    });
+                }
+            }
+        }
+        self.segs = out;
+    }
+}
+
+/// EDF-pack jobs with assigned volumes into virtual interval `[start, …)`
+/// at a fixed speed, producing virtual slices `(job, v_start, v_end)`.
+///
+/// Preemptive earliest-deadline-first: at every instant the released,
+/// unfinished job with the earliest deadline runs. For agreeable job sets
+/// (deadline order = release order) this reduces to the non-preemptive
+/// greedy and emits one slice per job; for the momentarily non-agreeable
+/// sets Online-QE's release rewinding creates, preemption is what keeps a
+/// feasible volume assignment feasible in the packed schedule.
+///
+/// Fractional-µs boundaries are tracked in `f64` and rounded per-slice,
+/// so rounding error does not accumulate. Slices are clamped to each
+/// job's virtual deadline; with a feasible assignment the clamp removes
+/// at most ~1 µs of work.
+pub(crate) fn edf_pack(jobs: &[(VJob, f64)], speed_ghz: f64, start: u64) -> Vec<(JobId, u64, u64)> {
+    debug_assert!(speed_ghz > 0.0);
+    let us_per_unit = 1000.0 / speed_ghz; // 1 unit = 1 GHz·ms
+
+    // Work items with remaining run time (µs, fractional).
+    struct Item {
+        vj: VJob,
+        remaining_us: f64,
+    }
+    let mut items: Vec<Item> = jobs
+        .iter()
+        .filter(|&&(_, vol)| vol > 0.0)
+        .map(|&(vj, vol)| Item { vj, remaining_us: vol * us_per_unit })
+        .collect();
+    // Release order for the sweep.
+    let mut by_release: Vec<usize> = (0..items.len()).collect();
+    by_release.sort_by_key(|&i| (items[i].vj.r, items[i].vj.d, items[i].vj.id));
+
+    let mut out: Vec<(JobId, u64, u64)> = Vec::with_capacity(items.len());
+    let mut active: Vec<usize> = Vec::new(); // released, unfinished item idxs
+    let mut next_rel = 0usize;
+    let mut cur = start as f64;
+    loop {
+        // Admit everything released by `cur`.
+        while next_rel < by_release.len() && (items[by_release[next_rel]].vj.r as f64) <= cur {
+            active.push(by_release[next_rel]);
+            next_rel += 1;
+        }
+        if active.is_empty() {
+            match by_release.get(next_rel) {
+                Some(&i) => {
+                    cur = cur.max(items[i].vj.r as f64);
+                    continue;
+                }
+                None => break,
+            }
+        }
+        // Earliest-deadline active item.
+        let pos = (0..active.len())
+            .min_by_key(|&p| {
+                let it = &items[active[p]];
+                (it.vj.d, it.vj.id)
+            })
+            .expect("active is non-empty");
+        let idx = active[pos];
+        let (deadline, release_horizon) = {
+            let it = &items[idx];
+            let next_release = by_release
+                .get(next_rel)
+                .map(|&i| items[i].vj.r as f64)
+                .unwrap_or(f64::INFINITY);
+            (it.vj.d as f64, next_release)
+        };
+        // Run until the job finishes, its deadline passes, or a new
+        // release could preempt it.
+        let it = &mut items[idx];
+        let end = (cur + it.remaining_us).min(deadline).min(release_horizon);
+        let ran = (end - cur).max(0.0);
+        let si = cur.round() as u64;
+        let ei = (end.round() as u64).min(it.vj.d);
+        if ei > si {
+            // Merge with an immediately preceding slice of the same job
+            // (a preemption point that didn't actually switch jobs).
+            match out.last_mut() {
+                Some(last) if last.0 == it.vj.id && last.2 == si => last.2 = ei,
+                _ => out.push((it.vj.id, si, ei)),
+            }
+        }
+        it.remaining_us -= ran;
+        cur = end;
+        let finished = it.remaining_us <= 0.5 || end >= deadline;
+        if finished {
+            debug_assert!(
+                it.remaining_us <= 2.0 || end < deadline,
+                "EDF pack drops volume at deadline: job {:?} leaves {:.1} µs",
+                it.vj.id,
+                it.remaining_us
+            );
+            active.swap_remove(pos);
+        }
+        if ran <= 0.0 && !finished {
+            // Defensive: no progress possible (deadline passed with work
+            // left); drop the item rather than loop forever.
+            active.swap_remove(pos);
+        }
+    }
+    out
+}
+
+/// Map virtual slices through `map` into real `(job, real_start, real_end)`
+/// slices, splitting across map segments where necessary.
+pub(crate) fn materialize(
+    map: &VirtualMap,
+    vslices: &[(JobId, u64, u64)],
+) -> Vec<(JobId, u64, u64)> {
+    let mut out = Vec::with_capacity(vslices.len());
+    for &(id, a, b) in vslices {
+        for (ra, rb) in map.real_segments(a, b) {
+            if rb > ra {
+                out.push((id, ra, rb));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_straight_through() {
+        let m = VirtualMap::identity(100, 1000);
+        assert_eq!(m.real_segments(0, 10), vec![(100, 110)]);
+        assert_eq!(m.real_segments(990, 1000), vec![(1090, 1100)]);
+        assert_eq!(m.extent(), 1000);
+        assert!(m.real_segments(5, 5).is_empty());
+    }
+
+    #[test]
+    fn cut_shifts_later_coordinates() {
+        let mut m = VirtualMap::identity(0, 1000);
+        m.cut(100, 200);
+        assert_eq!(m.extent(), 900);
+        // Virtual 100 now lands at real 200.
+        assert_eq!(m.real_segments(100, 150), vec![(200, 250)]);
+        // Virtual span straddling the seam splits into two real segments.
+        assert_eq!(m.real_segments(50, 150), vec![(50, 100), (200, 250)]);
+    }
+
+    #[test]
+    fn multiple_cuts_compose() {
+        let mut m = VirtualMap::identity(0, 1000);
+        m.cut(100, 200); // real [100,200) gone
+        m.cut(100, 150); // virtual [100,150) = real [200,250) gone
+        assert_eq!(m.extent(), 850);
+        assert_eq!(m.real_segments(90, 160), vec![(90, 100), (250, 310)]);
+    }
+
+    #[test]
+    fn cut_at_edges() {
+        let mut m = VirtualMap::identity(0, 100);
+        m.cut(0, 10);
+        assert_eq!(m.real_segments(0, 10), vec![(10, 20)]);
+        m.cut(80, 90); // virtual [80,90) = real [90,100)
+        assert_eq!(m.extent(), 80);
+        assert_eq!(m.real_segments(0, 80), vec![(10, 90)]);
+    }
+
+    #[test]
+    fn compress_point_cases() {
+        assert_eq!(compress_point(5, 10, 20), 5);
+        assert_eq!(compress_point(10, 10, 20), 10);
+        assert_eq!(compress_point(15, 10, 20), 10);
+        assert_eq!(compress_point(20, 10, 20), 10);
+        assert_eq!(compress_point(25, 10, 20), 15);
+    }
+
+    #[test]
+    fn edf_pack_sequences_jobs() {
+        let j = |id: u32, r: u64, d: u64, w: f64| {
+            (
+                VJob {
+                    id: JobId(id),
+                    r,
+                    d,
+                    w,
+                },
+                w,
+            )
+        };
+        // Two jobs, 10 units each at 1 GHz = 10 000 µs each.
+        let jobs = vec![j(0, 0, 20_000, 10.0), j(1, 0, 40_000, 10.0)];
+        let slices = edf_pack(&jobs, 1.0, 0);
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0], (JobId(0), 0, 10_000));
+        assert_eq!(slices[1], (JobId(1), 10_000, 20_000));
+    }
+
+    #[test]
+    fn edf_pack_waits_for_release() {
+        let vj = VJob {
+            id: JobId(0),
+            r: 5_000,
+            d: 20_000,
+            w: 5.0,
+        };
+        let slices = edf_pack(&[(vj, 5.0)], 1.0, 0);
+        assert_eq!(slices, vec![(JobId(0), 5_000, 10_000)]);
+    }
+
+    #[test]
+    fn edf_pack_skips_zero_volume() {
+        let vj = VJob {
+            id: JobId(0),
+            r: 0,
+            d: 10_000,
+            w: 5.0,
+        };
+        assert!(edf_pack(&[(vj, 0.0)], 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn edf_pack_preempts_for_tighter_deadline() {
+        // Non-agreeable: a later-released job with an EARLIER deadline
+        // (the shape Online-QE's release rewinding produces). The long
+        // job must start first, yield when the tight job releases, and
+        // resume after — no deadline overrun.
+        let long = VJob { id: JobId(0), r: 0, d: 100_000, w: 80.0 };
+        let tight = VJob { id: JobId(1), r: 40_000, d: 60_000, w: 20.0 };
+        // 1 GHz: 80 units = 80 000 µs, 20 units = 20 000 µs; total exactly
+        // fills [0, 100 000].
+        let slices = edf_pack(&[(tight, 20.0), (long, 80.0)], 1.0, 0);
+        // Long runs [0, 40k), tight preempts [40k, 60k), long resumes
+        // [60k, 100k).
+        assert_eq!(
+            slices,
+            vec![
+                (JobId(0), 0, 40_000),
+                (JobId(1), 40_000, 60_000),
+                (JobId(0), 60_000, 100_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn edf_pack_merges_contiguous_slices_of_one_job() {
+        // A release event that does NOT preempt (the new arrival has a
+        // later deadline) must not split the running job's slice.
+        let a = VJob { id: JobId(0), r: 0, d: 50_000, w: 30.0 };
+        let b = VJob { id: JobId(1), r: 10_000, d: 90_000, w: 20.0 };
+        let slices = edf_pack(&[(a, 30.0), (b, 20.0)], 1.0, 0);
+        assert_eq!(
+            slices,
+            vec![(JobId(0), 0, 30_000), (JobId(1), 30_000, 50_000)]
+        );
+    }
+
+    #[test]
+    fn edf_pack_idles_until_first_release() {
+        let a = VJob { id: JobId(0), r: 25_000, d: 80_000, w: 10.0 };
+        let slices = edf_pack(&[(a, 10.0)], 1.0, 0);
+        assert_eq!(slices, vec![(JobId(0), 25_000, 35_000)]);
+    }
+
+    #[test]
+    fn edf_pack_clamps_at_deadline_without_panicking() {
+        // Deliberately infeasible volume: release build clamps silently.
+        // (Debug builds assert; keep the volume overrun under the assert's
+        // tolerance by using an exactly-at-deadline assignment.)
+        let a = VJob { id: JobId(0), r: 0, d: 10_000, w: 10.0 };
+        let slices = edf_pack(&[(a, 10.0)], 1.0, 0);
+        assert_eq!(slices, vec![(JobId(0), 0, 10_000)]);
+    }
+
+    #[test]
+    fn materialize_splits_across_seams() {
+        let mut m = VirtualMap::identity(0, 1000);
+        m.cut(100, 200);
+        let real = materialize(&m, &[(JobId(0), 50, 150)]);
+        assert_eq!(real, vec![(JobId(0), 50, 100), (JobId(0), 200, 250)]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Poisson arrival process.
+
+use qes_core::time::SimTime;
+use rand::Rng;
+
+/// A Poisson arrival process: inter-arrival times are i.i.d. exponential
+/// with mean `1/rate`.
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// A process with the given arrival rate (requests/second).
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive"
+        );
+        PoissonArrivals { rate_per_sec }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Sample one exponential inter-arrival gap in seconds.
+    pub fn sample_gap_secs<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1−u ∈ (0, 1] avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / self.rate_per_sec
+    }
+
+    /// All arrival instants within `[0, horizon)`.
+    pub fn sample_until<R: Rng + ?Sized>(&self, rng: &mut R, horizon: SimTime) -> Vec<SimTime> {
+        let mut out =
+            Vec::with_capacity((self.rate_per_sec * horizon.as_secs_f64() * 1.2) as usize + 8);
+        let mut t = 0.0;
+        loop {
+            t += self.sample_gap_secs(rng);
+            let at = SimTime::from_secs_f64(t);
+            if at >= horizon {
+                break;
+            }
+            out.push(at);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_rate_matches_over_long_horizon() {
+        let p = PoissonArrivals::new(120.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let horizon = SimTime::from_secs(100);
+        let arrivals = p.sample_until(&mut rng, horizon);
+        let observed = arrivals.len() as f64 / 100.0;
+        assert!(
+            (observed - 120.0).abs() < 6.0,
+            "observed rate {observed} too far from 120"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_range() {
+        let p = PoissonArrivals::new(50.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let horizon = SimTime::from_secs(10);
+        let arrivals = p.sample_until(&mut rng, horizon);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arrivals.iter().all(|&t| t < horizon));
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let p = PoissonArrivals::new(80.0);
+        let a = p.sample_until(&mut StdRng::seed_from_u64(42), SimTime::from_secs(5));
+        let b = p.sample_until(&mut StdRng::seed_from_u64(42), SimTime::from_secs(5));
+        assert_eq!(a, b);
+        let c = p.sample_until(&mut StdRng::seed_from_u64(43), SimTime::from_secs(5));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gap_distribution_mean_and_positivity() {
+        let p = PoissonArrivals::new(10.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let g = p.sample_gap_secs(&mut rng);
+            assert!(g >= 0.0);
+            sum += g;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.1).abs() < 0.005, "mean gap {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        PoissonArrivals::new(0.0);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # qes-workload — the web-search workload generator (paper §V-B)
+//!
+//! The paper drives its evaluation with a synthetic web-search request
+//! stream:
+//!
+//! * **arrivals** follow a Poisson process at a configurable rate
+//!   (requests/second) — [`arrivals::PoissonArrivals`];
+//! * **service demands** follow a bounded Pareto distribution with index
+//!   `α = 3`, lower bound `x_min = 130` and upper bound `x_max = 1000`
+//!   processing units (mean 192) — [`pareto::BoundedPareto`];
+//! * every request's **deadline** is 150 ms after its arrival (so
+//!   deadlines are agreeable by construction);
+//! * a configurable fraction of requests supports **partial evaluation**
+//!   (§V-D varies it over {0 %, 50 %, 100 %}).
+//!
+//! [`WebSearchWorkload`] bundles all of it behind one seeded, fully
+//! deterministic builder.
+
+pub mod arrivals;
+pub mod builder;
+pub mod distributions;
+pub mod modulated;
+pub mod pareto;
+pub mod trace_io;
+pub mod websearch;
+
+pub use arrivals::PoissonArrivals;
+pub use builder::GeneralWorkload;
+pub use distributions::{
+    DemandDistribution, Deterministic, EmpiricalDemand, LognormalDemand, UniformDemand,
+};
+pub use modulated::{sample_modulated, ConstantRate, DiurnalRate, RateProfile, SteppedRate};
+pub use pareto::BoundedPareto;
+pub use trace_io::{from_csv, to_csv, TraceParseError};
+pub use websearch::WebSearchWorkload;

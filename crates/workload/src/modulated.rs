@@ -1,0 +1,216 @@
+//! Time-varying arrival processes.
+//!
+//! The paper motivates DES with "service demand variation of the
+//! requests"; real interactive services also see *rate* variation —
+//! diurnal cycles and bursts. A non-homogeneous Poisson process with a
+//! piecewise-constant or sinusoidal rate profile lets experiments stress
+//! the schedulers under realistic load swings while staying exactly
+//! reproducible.
+//!
+//! Sampling uses thinning (Lewis–Shedler): draw candidate arrivals from a
+//! homogeneous process at the peak rate and keep each with probability
+//! `rate(t) / peak`.
+
+use qes_core::time::SimTime;
+use rand::Rng;
+
+/// A deterministic rate profile `rate(t)` in requests/second.
+pub trait RateProfile: Send + Sync {
+    /// Instantaneous rate at `t` (must be ≤ [`RateProfile::peak`]).
+    fn rate_at(&self, t: SimTime) -> f64;
+
+    /// A finite upper bound on the rate.
+    fn peak(&self) -> f64;
+}
+
+/// Constant rate (reduces to the homogeneous process).
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantRate(pub f64);
+
+impl RateProfile for ConstantRate {
+    fn rate_at(&self, _t: SimTime) -> f64 {
+        self.0
+    }
+
+    fn peak(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Sinusoidal "diurnal" profile: `base + amp·sin(2π t / period)`,
+/// clamped at zero.
+#[derive(Clone, Copy, Debug)]
+pub struct DiurnalRate {
+    /// Mean rate (req/s).
+    pub base: f64,
+    /// Swing amplitude (req/s); may exceed `base` (the floor is 0).
+    pub amp: f64,
+    /// Cycle length in seconds.
+    pub period_secs: f64,
+}
+
+impl RateProfile for DiurnalRate {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t.as_secs_f64() / self.period_secs;
+        (self.base + self.amp * phase.sin()).max(0.0)
+    }
+
+    fn peak(&self) -> f64 {
+        self.base + self.amp.abs()
+    }
+}
+
+/// Piecewise-constant rate steps: `(start_secs, rate)` pairs, sorted by
+/// start; the rate before the first step is the first step's rate.
+#[derive(Clone, Debug)]
+pub struct SteppedRate {
+    steps: Vec<(f64, f64)>,
+}
+
+impl SteppedRate {
+    /// Build from `(start_secs, rate)` pairs (sorted internally).
+    pub fn new(mut steps: Vec<(f64, f64)>) -> Option<Self> {
+        if steps.is_empty() || steps.iter().any(|&(_, r)| r < 0.0 || !r.is_finite()) {
+            return None;
+        }
+        steps.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        Some(SteppedRate { steps })
+    }
+}
+
+impl RateProfile for SteppedRate {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        let secs = t.as_secs_f64();
+        let idx = self.steps.partition_point(|&(s, _)| s <= secs);
+        self.steps[idx.saturating_sub(1)].1
+    }
+
+    fn peak(&self) -> f64 {
+        self.steps.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+}
+
+/// Sample arrivals of the non-homogeneous process on `[0, horizon)` by
+/// thinning.
+pub fn sample_modulated<R: Rng + ?Sized>(
+    profile: &dyn RateProfile,
+    rng: &mut R,
+    horizon: SimTime,
+) -> Vec<SimTime> {
+    let peak = profile.peak();
+    let mut out = Vec::new();
+    if peak <= 0.0 {
+        return out;
+    }
+    let mut t = 0.0f64;
+    loop {
+        // Homogeneous candidate at the peak rate…
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).ln() / peak;
+        let at = SimTime::from_secs_f64(t);
+        if at >= horizon {
+            break;
+        }
+        // …kept with probability rate(t)/peak.
+        let keep: f64 = rng.gen();
+        if keep * peak < profile.rate_at(at) {
+            out.push(at);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_profile_matches_homogeneous_rate() {
+        let p = ConstantRate(100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let arr = sample_modulated(&p, &mut rng, SimTime::from_secs(100));
+        let rate = arr.len() as f64 / 100.0;
+        assert!((rate - 100.0).abs() < 5.0, "{rate}");
+    }
+
+    #[test]
+    fn diurnal_rate_shape() {
+        let p = DiurnalRate {
+            base: 100.0,
+            amp: 80.0,
+            period_secs: 120.0,
+        };
+        // Peak of the sine at t = period/4.
+        assert!((p.rate_at(SimTime::from_secs(30)) - 180.0).abs() < 1e-6);
+        // Trough at 3/4 period.
+        assert!((p.rate_at(SimTime::from_secs(90)) - 20.0).abs() < 1e-6);
+        assert_eq!(p.peak(), 180.0);
+    }
+
+    #[test]
+    fn diurnal_floor_at_zero() {
+        let p = DiurnalRate {
+            base: 10.0,
+            amp: 50.0,
+            period_secs: 60.0,
+        };
+        assert_eq!(p.rate_at(SimTime::from_secs(45)), 0.0);
+    }
+
+    #[test]
+    fn thinning_tracks_the_profile() {
+        // Count arrivals in the high and low half-cycles.
+        let p = DiurnalRate {
+            base: 100.0,
+            amp: 60.0,
+            period_secs: 100.0,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let arr = sample_modulated(&p, &mut rng, SimTime::from_secs(100));
+        let first_half = arr.iter().filter(|&&t| t < SimTime::from_secs(50)).count();
+        let second_half = arr.len() - first_half;
+        // Expected ≈ (100 + 2·60/π)·50 vs (100 − 2·60/π)·50 ≈ 6909 vs 3090.
+        assert!(
+            first_half as f64 > 1.5 * second_half as f64,
+            "{first_half} vs {second_half}"
+        );
+    }
+
+    #[test]
+    fn stepped_profile_lookup() {
+        let p = SteppedRate::new(vec![(60.0, 50.0), (0.0, 200.0)]).unwrap();
+        assert_eq!(p.rate_at(SimTime::from_secs(10)), 200.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(60)), 50.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(600)), 50.0);
+        assert_eq!(p.peak(), 200.0);
+    }
+
+    #[test]
+    fn stepped_rejects_bad_input() {
+        assert!(SteppedRate::new(vec![]).is_none());
+        assert!(SteppedRate::new(vec![(0.0, -1.0)]).is_none());
+        assert!(SteppedRate::new(vec![(0.0, f64::INFINITY)]).is_none());
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_deterministic() {
+        let p = DiurnalRate {
+            base: 80.0,
+            amp: 40.0,
+            period_secs: 30.0,
+        };
+        let a = sample_modulated(&p, &mut StdRng::seed_from_u64(9), SimTime::from_secs(20));
+        let b = sample_modulated(&p, &mut StdRng::seed_from_u64(9), SimTime::from_secs(20));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zero_peak_yields_no_arrivals() {
+        let p = ConstantRate(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_modulated(&p, &mut rng, SimTime::from_secs(10)).is_empty());
+    }
+}

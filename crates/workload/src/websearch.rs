@@ -1,0 +1,177 @@
+//! The paper's web-search workload model (§V-B), bundled into a builder.
+
+use qes_core::error::QesError;
+use qes_core::job::{Job, JobSet};
+use qes_core::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arrivals::PoissonArrivals;
+use crate::pareto::BoundedPareto;
+
+/// Deterministic generator for best-effort web-search request streams.
+///
+/// Defaults follow §V-B: Poisson arrivals, bounded Pareto(3, 130, 1000)
+/// demands, 150 ms relative deadlines, and 100 % partial-evaluation
+/// support.
+#[derive(Clone, Debug)]
+pub struct WebSearchWorkload {
+    arrival_rate: f64,
+    demand: BoundedPareto,
+    deadline: SimDuration,
+    partial_fraction: f64,
+    horizon: SimTime,
+}
+
+impl WebSearchWorkload {
+    /// The paper's workload at the given arrival rate (requests/second).
+    pub fn new(arrival_rate: f64) -> Self {
+        WebSearchWorkload {
+            arrival_rate,
+            demand: BoundedPareto::paper_default(),
+            deadline: SimDuration::from_millis(150),
+            partial_fraction: 1.0,
+            horizon: SimTime::from_secs(1800),
+        }
+    }
+
+    /// Override the simulated horizon (paper: 1800 s).
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Override the relative deadline (paper: 150 ms).
+    pub fn with_deadline(mut self, d: SimDuration) -> Self {
+        self.deadline = d;
+        self
+    }
+
+    /// Override the demand distribution.
+    pub fn with_demand(mut self, d: BoundedPareto) -> Self {
+        self.demand = d;
+        self
+    }
+
+    /// Fraction of jobs supporting partial evaluation (§V-D); clamped to
+    /// `[0, 1]`.
+    pub fn with_partial_fraction(mut self, f: f64) -> Self {
+        self.partial_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The configured arrival rate.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Generate the request stream deterministically from `seed`.
+    ///
+    /// Deadlines are agreeable by construction (constant relative
+    /// deadline), so the returned [`JobSet`] always validates.
+    pub fn generate(&self, seed: u64) -> Result<JobSet, QesError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals = PoissonArrivals::new(self.arrival_rate).sample_until(&mut rng, self.horizon);
+        let mut jobs = Vec::with_capacity(arrivals.len());
+        for (i, &at) in arrivals.iter().enumerate() {
+            let demand = self.demand.sample(&mut rng);
+            let partial = rng.gen::<f64>() < self.partial_fraction;
+            jobs.push(Job::with_partial(
+                i as u32,
+                at,
+                at + self.deadline,
+                demand,
+                partial,
+            )?);
+        }
+        JobSet::new(jobs)
+    }
+
+    /// Expected offered load in processing units per second.
+    pub fn offered_units_per_sec(&self) -> f64 {
+        self.arrival_rate * self.demand.mean()
+    }
+
+    /// Offered load as a fraction of a server's capacity, where the server
+    /// has `m` cores able to run at `per_core_speed_ghz` under its budget
+    /// (the paper's 72 % light-load / >100 % heavy-load bookkeeping).
+    pub fn utilization(&self, m: usize, per_core_speed_ghz: f64) -> f64 {
+        let capacity = m as f64 * per_core_speed_ghz * qes_core::UNITS_PER_GHZ_SECOND;
+        self.offered_units_per_sec() / capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_agreeable_validated_jobset() {
+        let w = WebSearchWorkload::new(100.0).with_horizon(SimTime::from_secs(5));
+        let jobs = w.generate(1).unwrap();
+        assert!(jobs.len() > 300 && jobs.len() < 700, "{}", jobs.len());
+        for j in jobs.iter() {
+            assert_eq!(j.window(), SimDuration::from_millis(150));
+            assert!((130.0..=1000.0).contains(&j.demand));
+            assert!(j.partial);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = WebSearchWorkload::new(50.0).with_horizon(SimTime::from_secs(3));
+        let a = w.generate(9).unwrap();
+        let b = w.generate(9).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+        let c = w.generate(10).unwrap();
+        // Different seed ⇒ (almost surely) different stream.
+        assert!(a.len() != c.len() || a.iter().zip(c.iter()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn partial_fraction_mixes() {
+        let horizon = SimTime::from_secs(20);
+        for (frac, lo, hi) in [(0.0, 0.0, 0.0), (0.5, 0.4, 0.6), (1.0, 1.0, 1.0)] {
+            let w = WebSearchWorkload::new(100.0)
+                .with_horizon(horizon)
+                .with_partial_fraction(frac);
+            let jobs = w.generate(4).unwrap();
+            let p = jobs.iter().filter(|j| j.partial).count() as f64 / jobs.len() as f64;
+            assert!((lo..=hi).contains(&p), "frac {frac}: got {p}");
+        }
+    }
+
+    #[test]
+    fn paper_utilization_bookkeeping() {
+        // §V-B: 120 req/s ≈ 72 % of a 16-core 2 GHz server's capacity.
+        let w = WebSearchWorkload::new(120.0);
+        let u = w.utilization(16, 2.0);
+        assert!((u - 0.72).abs() < 0.01, "utilization {u}");
+        // 180 req/s > 100 %? The paper calls > 180 heavy; 180 × 192 /
+        // 32 000 = 1.08.
+        let heavy = WebSearchWorkload::new(180.0).utilization(16, 2.0);
+        assert!(heavy > 1.0, "{heavy}");
+    }
+
+    #[test]
+    fn horizon_and_deadline_overrides() {
+        let w = WebSearchWorkload::new(30.0)
+            .with_horizon(SimTime::from_secs(2))
+            .with_deadline(SimDuration::from_millis(80));
+        let jobs = w.generate(2).unwrap();
+        assert!(
+            jobs.last_deadline().unwrap() <= SimTime::from_secs(2) + SimDuration::from_millis(80)
+        );
+        for j in jobs.iter() {
+            assert_eq!(j.window(), SimDuration::from_millis(80));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Which of DES's ingredients buys what? Each variant removes exactly one
+//! design choice from the full algorithm (see DESIGN.md §3 and the paper's
+//! §IV-B/C arguments).
+//!
+//! ```text
+//! cargo run --release --example ablation_study
+//! ```
+
+use qes::core::{ExpQuality, SimDuration, SimTime};
+use qes::experiments::ExperimentConfig;
+use qes::multicore::des::{DesPolicy, JobSharing, PowerSharing};
+use qes::sim::engine::{SimConfig, Simulator};
+use qes::singlecore::OnlineMode;
+
+fn main() {
+    type Variant = (&'static str, Box<dyn Fn() -> DesPolicy>);
+    let variants: Vec<Variant> = vec![
+        ("full DES", Box::new(DesPolicy::new)),
+        (
+            "− C-RR (restart round-robin)",
+            Box::new(|| DesPolicy::new().with_job_sharing(JobSharing::RestartRr)),
+        ),
+        (
+            "− WF (static power shares)",
+            Box::new(|| DesPolicy::new().with_power_sharing(PowerSharing::StaticEqual)),
+        ),
+        (
+            "− eager (Energy-OPT stretch)",
+            Box::new(|| DesPolicy::new().with_mode(OnlineMode::Efficient)),
+        ),
+    ];
+
+    println!(
+        "{:<30} {:>6} {:>9} {:>11}",
+        "variant", "rate", "quality", "energy (J)"
+    );
+    println!("{}", "-".repeat(60));
+    for rate in [120.0, 200.0] {
+        let cfg = ExperimentConfig::paper_default()
+            .with_arrival_rate(rate)
+            .with_sim_seconds(60.0);
+        let jobs = cfg.workload().generate(42).unwrap();
+        let quality = ExpQuality::new(cfg.quality_c);
+        for (label, make) in &variants {
+            let sim_cfg = SimConfig {
+                num_cores: cfg.num_cores,
+                budget: cfg.budget,
+                model: &cfg.power,
+                quality: &quality,
+                end: SimTime::from_secs_f64(cfg.sim_seconds),
+                record_trace: false,
+                overhead: SimDuration::ZERO,
+            };
+            let mut policy = make();
+            let (rep, _) = Simulator::run(&sim_cfg, &mut policy, &jobs);
+            println!(
+                "{label:<30} {rate:>6.0} {:>9.4} {:>11.0}",
+                rep.normalized_quality(),
+                rep.energy_joules
+            );
+        }
+        println!("{}", "-".repeat(60));
+    }
+    println!(
+        "\nReading: WF matters most under load imbalance; C-RR's cumulative\n\
+         cursor matters at light load where invocations deal few jobs; the\n\
+         eager realization protects quality under a binding budget."
+    );
+}

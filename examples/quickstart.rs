@@ -1,0 +1,57 @@
+//! Quickstart: schedule a web-search workload with DES and read the
+//! ⟨quality, energy⟩ outcome.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qes::prelude::*;
+
+fn main() {
+    // The paper's server: 16 cores, a 320 W dynamic power budget, and the
+    // convex power model P = 5·s². Web-search requests arrive at 120/s,
+    // each with a 150 ms deadline and a bounded-Pareto service demand.
+    let cfg = ExperimentConfig::paper_default()
+        .with_arrival_rate(120.0)
+        .with_sim_seconds(60.0);
+
+    println!(
+        "workload: {:.0} req/s for {:.0} s",
+        cfg.arrival_rate, cfg.sim_seconds
+    );
+    println!(
+        "offered load: {:.0}% of server capacity\n",
+        100.0 * cfg.workload().utilization(cfg.num_cores, 2.0)
+    );
+
+    // DES = C-RR + WF + Online-QE, on core-level DVFS.
+    let report = run_policy(&cfg, PolicyKind::Des, 42);
+    println!("{report}");
+    println!(
+        "\nnormalized quality : {:.4} (1.0 = every request fully answered)",
+        report.normalized_quality()
+    );
+    println!(
+        "mean dynamic power : {:.1} W of the {:.0} W budget",
+        report.mean_power(),
+        cfg.budget
+    );
+    println!("composite metric   : {}", report.quality_energy());
+
+    // The same stream under plain FCFS, for contrast.
+    let fcfs = run_policy(&cfg, PolicyKind::Fcfs, 42);
+    println!(
+        "\nFCFS on the same stream: quality {:.4}, energy {:.0} J",
+        fcfs.normalized_quality(),
+        fcfs.energy_joules
+    );
+    let better = report.quality_energy().better(fcfs.quality_energy());
+    println!(
+        "lexicographic winner: {}",
+        if better == report.quality_energy() {
+            "DES"
+        } else {
+            "FCFS"
+        }
+    );
+}

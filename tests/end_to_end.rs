@@ -1,0 +1,197 @@
+//! End-to-end simulation invariants across crates: every policy on the
+//! paper's web-search workload must produce physically sensible,
+//! deterministic, budget-respecting executions.
+
+use qes::core::{PolynomialPower, PowerModel, SimTime};
+use qes::experiments::{run_policy, run_policy_traced, ExperimentConfig, PolicyKind};
+
+const ALL_POLICIES: [PolicyKind; 10] = [
+    PolicyKind::Des,
+    PolicyKind::DesSDvfs,
+    PolicyKind::DesNoDvfs,
+    PolicyKind::DesDiscrete,
+    PolicyKind::Fcfs,
+    PolicyKind::Ljf,
+    PolicyKind::Sjf,
+    PolicyKind::FcfsWf,
+    PolicyKind::LjfWf,
+    PolicyKind::SjfWf,
+];
+
+fn quick(rate: f64) -> ExperimentConfig {
+    ExperimentConfig::paper_default()
+        .with_arrival_rate(rate)
+        .with_sim_seconds(8.0)
+}
+
+#[test]
+fn every_policy_runs_and_reports_sane_metrics() {
+    for kind in ALL_POLICIES {
+        let r = run_policy(&quick(140.0), kind, 3);
+        assert!(r.jobs_total > 500, "{kind:?}: only {} jobs", r.jobs_total);
+        assert!(
+            r.jobs_satisfied + r.jobs_partial + r.jobs_zero == r.jobs_total,
+            "{kind:?}: job accounting mismatch"
+        );
+        let q = r.normalized_quality();
+        assert!(q > 0.2 && q <= 1.0 + 1e-9, "{kind:?}: quality {q}");
+        assert!(r.energy_joules > 0.0, "{kind:?}: zero energy");
+        assert!(r.invocations > 0, "{kind:?}: never invoked");
+    }
+}
+
+#[test]
+fn every_policy_is_deterministic() {
+    for kind in ALL_POLICIES {
+        let a = run_policy(&quick(120.0), kind, 9);
+        let b = run_policy(&quick(120.0), kind, 9);
+        assert_eq!(a.total_quality, b.total_quality, "{kind:?}");
+        assert_eq!(a.energy_joules, b.energy_joules, "{kind:?}");
+        assert_eq!(a.jobs_satisfied, b.jobs_satisfied, "{kind:?}");
+        assert_eq!(a.invocations, b.invocations, "{kind:?}");
+    }
+}
+
+#[test]
+fn no_trace_slice_ever_violates_a_job_window() {
+    for kind in [PolicyKind::Des, PolicyKind::Fcfs, PolicyKind::DesDiscrete] {
+        let cfg = quick(200.0);
+        let jobs = cfg.workload().generate(5).unwrap();
+        let (_, trace) = run_policy_traced(&cfg, kind, 5);
+        assert!(!trace.is_empty());
+        for s in trace.slices() {
+            let j = jobs
+                .get(s.job)
+                .unwrap_or_else(|| panic!("{kind:?}: unknown job"));
+            assert!(s.start >= j.release, "{kind:?}: slice before release");
+            assert!(s.end <= j.deadline, "{kind:?}: slice after deadline");
+            assert!(s.speed > 0.0);
+        }
+    }
+}
+
+#[test]
+fn non_migration_holds_in_every_trace() {
+    for kind in [PolicyKind::Des, PolicyKind::FcfsWf, PolicyKind::DesSDvfs] {
+        let (_, trace) = run_policy_traced(&quick(180.0), kind, 11);
+        let mut home = std::collections::HashMap::new();
+        for s in trace.slices() {
+            let prev = home.insert(s.job, s.core);
+            if let Some(c) = prev {
+                assert_eq!(c, s.core, "{kind:?}: job {:?} migrated", s.job);
+            }
+        }
+    }
+}
+
+#[test]
+fn instantaneous_power_respects_budget_in_trace() {
+    // Sweep the trace's event instants and check Σ per-core power ≤ H.
+    for kind in [PolicyKind::Des, PolicyKind::DesDiscrete, PolicyKind::FcfsWf] {
+        let cfg = quick(220.0);
+        let (_, trace) = run_policy_traced(&cfg, kind, 13);
+        let model = PolynomialPower::PAPER_SIM;
+        // Collect boundaries.
+        let mut instants: Vec<SimTime> = trace
+            .slices()
+            .iter()
+            .flat_map(|s| [s.start, s.end])
+            .collect();
+        instants.sort();
+        instants.dedup();
+        // Per-core sorted slices for point queries.
+        let mut per_core: Vec<Vec<(SimTime, SimTime, f64)>> = vec![Vec::new(); cfg.num_cores];
+        for s in trace.slices() {
+            per_core[s.core].push((s.start, s.end, s.speed));
+        }
+        for v in &mut per_core {
+            v.sort_by_key(|&(a, _, _)| a);
+        }
+        for &t in instants.iter().step_by(7) {
+            let total: f64 = per_core
+                .iter()
+                .map(|v| {
+                    let i = v.partition_point(|&(_, e, _)| e <= t);
+                    match v.get(i) {
+                        Some(&(a, _, sp)) if a <= t => model.dynamic_power(sp),
+                        _ => 0.0,
+                    }
+                })
+                .sum();
+            assert!(
+                total <= cfg.budget + 1e-3,
+                "{kind:?}: power {total} at {t} exceeds {}",
+                cfg.budget
+            );
+        }
+    }
+}
+
+#[test]
+fn processed_volume_never_exceeds_demand() {
+    for kind in [PolicyKind::Des, PolicyKind::Sjf, PolicyKind::DesNoDvfs] {
+        let cfg = quick(160.0);
+        let jobs = cfg.workload().generate(17).unwrap();
+        let (_, trace) = run_policy_traced(&cfg, kind, 17);
+        let mut vols = std::collections::HashMap::new();
+        for s in trace.slices() {
+            *vols.entry(s.job).or_insert(0.0) += s.volume();
+        }
+        for (id, v) in vols {
+            let j = jobs.get(id).unwrap();
+            assert!(
+                v <= j.demand + 0.1,
+                "{kind:?}: job {id:?} processed {v} > demand {}",
+                j.demand
+            );
+        }
+    }
+}
+
+#[test]
+fn heavier_load_never_increases_quality() {
+    for kind in [PolicyKind::Des, PolicyKind::Fcfs] {
+        let mut prev = f64::INFINITY;
+        for rate in [60.0, 120.0, 180.0, 240.0] {
+            let r = run_policy(&quick(rate), kind, 23);
+            let q = r.normalized_quality();
+            assert!(
+                q <= prev + 0.02,
+                "{kind:?}: quality rose from {prev} to {q} at rate {rate}"
+            );
+            prev = q;
+        }
+    }
+}
+
+#[test]
+fn des_quality_dominates_baselines_on_shared_streams() {
+    // The paper's headline across a spread of loads, one stream each.
+    for rate in [100.0, 160.0, 220.0] {
+        let cfg = quick(rate);
+        let des = run_policy(&cfg, PolicyKind::Des, 31).normalized_quality();
+        for kind in [PolicyKind::Fcfs, PolicyKind::Ljf, PolicyKind::Sjf] {
+            let base = run_policy(&cfg, kind, 31).normalized_quality();
+            assert!(
+                des + 0.01 >= base,
+                "rate {rate}: DES {des} vs {kind:?} {base}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_budget_system_does_nothing_gracefully() {
+    let cfg = quick(100.0).with_budget(0.0);
+    let r = run_policy(&cfg, PolicyKind::Des, 1);
+    assert_eq!(r.jobs_satisfied, 0);
+    assert_eq!(r.energy_joules, 0.0);
+    assert_eq!(r.total_quality, 0.0);
+}
+
+#[test]
+fn single_core_system_works() {
+    let cfg = quick(10.0).with_cores(1).with_budget(20.0);
+    let r = run_policy(&cfg, PolicyKind::Des, 2);
+    assert!(r.normalized_quality() > 0.5);
+}

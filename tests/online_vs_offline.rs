@@ -1,0 +1,119 @@
+//! Online DES vs clairvoyant offline references: the myopia gap.
+//!
+//! `offline_crr_qe_opt` sees the whole future and solves each core
+//! optimally (static power shares); DES sees only arrivals (dynamic WF
+//! shares). Neither dominates by construction, but on the paper's
+//! workload DES should stay close to the clairvoyant reference — and the
+//! exhaustive assignment search on tiny instances bounds what any
+//! assignment policy could add.
+
+use qes::core::{ExpQuality, Job, JobSet, PolynomialPower, SimDuration, SimTime};
+use qes::experiments::{run_policy, ExperimentConfig, PolicyKind};
+use qes::multicore::{offline_best_assignment, offline_crr_qe_opt};
+
+const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
+const Q: ExpQuality = ExpQuality::PAPER_DEFAULT;
+
+#[test]
+fn des_stays_close_to_clairvoyant_reference_at_moderate_load() {
+    let cfg = ExperimentConfig::paper_default()
+        .with_arrival_rate(140.0)
+        .with_sim_seconds(10.0);
+    let jobs = cfg.workload().generate(3).unwrap();
+
+    // Online DES (simulated, sees only arrivals).
+    let online = run_policy(&cfg, PolicyKind::Des, 3);
+
+    // Clairvoyant per-core optimal on the same stream.
+    let offline = offline_crr_qe_opt(&jobs, cfg.num_cores, &MODEL, cfg.budget, &Q);
+
+    let gap = (offline.score.quality - online.total_quality) / offline.score.quality;
+    assert!(
+        gap < 0.05,
+        "online quality {} trails clairvoyant {} by {:.1}%",
+        online.total_quality,
+        offline.score.quality,
+        100.0 * gap
+    );
+}
+
+#[test]
+fn des_can_beat_static_share_clairvoyance_under_imbalance() {
+    // A stream engineered for imbalance: alternating huge/tiny jobs means
+    // static equal shares starve the hot cores the clairvoyant reference
+    // is stuck with, while DES's WF borrows for them.
+    let ms = SimTime::from_millis;
+    let jobs = JobSet::new(
+        (0..24u32)
+            .map(|i| {
+                let rel = ms(40 * i as u64);
+                let w = if i % 4 == 0 { 800.0 } else { 40.0 };
+                Job::new(i, rel, ms(40 * i as u64 + 150), w).unwrap()
+            })
+            .collect(),
+    )
+    .unwrap();
+    let m = 4;
+    let budget = 30.0;
+    let offline = offline_crr_qe_opt(&jobs, m, &MODEL, budget, &Q);
+
+    // Simulate DES over the same jobs.
+    use qes::multicore::DesPolicy;
+    use qes::sim::engine::{SimConfig, Simulator};
+    let sim_cfg = SimConfig {
+        num_cores: m,
+        budget,
+        model: &MODEL,
+        quality: &Q,
+        end: ms(1500),
+        record_trace: false,
+        overhead: SimDuration::ZERO,
+    };
+    let (report, _) = Simulator::run(&sim_cfg, &mut DesPolicy::new(), &jobs);
+
+    // DES must land within a whisker of — and often above — the static
+    // clairvoyant score on this shape.
+    assert!(
+        report.total_quality > 0.9 * offline.score.quality,
+        "DES {} vs clairvoyant {}",
+        report.total_quality,
+        offline.score.quality
+    );
+}
+
+#[test]
+fn exhaustive_assignment_bounds_crr_loss_on_tiny_instances() {
+    // On small random-ish instances the C-RR assignment should be within
+    // a few percent of the best possible assignment.
+    let ms = SimTime::from_millis;
+    let cases: Vec<Vec<(u64, f64)>> = vec![
+        vec![(0, 300.0), (0, 120.0), (10, 450.0), (15, 80.0), (20, 200.0)],
+        vec![(0, 700.0), (5, 700.0), (10, 100.0), (15, 100.0)],
+        vec![
+            (0, 150.0),
+            (2, 150.0),
+            (4, 150.0),
+            (6, 150.0),
+            (8, 150.0),
+            (10, 150.0),
+        ],
+    ];
+    for (ci, case) in cases.iter().enumerate() {
+        let jobs = JobSet::new(
+            case.iter()
+                .enumerate()
+                .map(|(i, &(r, w))| Job::new(i as u32, ms(r), ms(r + 150), w).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let crr = offline_crr_qe_opt(&jobs, 2, &MODEL, 20.0, &Q);
+        let best = offline_best_assignment(&jobs, 2, &MODEL, 20.0, &Q).unwrap();
+        assert!(best.score.quality + 1e-9 >= crr.score.quality, "case {ci}");
+        let loss = (best.score.quality - crr.score.quality) / best.score.quality.max(1e-9);
+        assert!(
+            loss < 0.10,
+            "case {ci}: C-RR loses {:.1}% to the best assignment",
+            100.0 * loss
+        );
+    }
+}

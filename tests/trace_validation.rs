@@ -1,0 +1,70 @@
+//! Every policy × several loads, validated through the library's own
+//! trace checker (`qes_sim::validate_trace`): windows, non-overlap,
+//! non-migration, demand caps, and the instantaneous power budget.
+
+use qes::core::PolynomialPower;
+use qes::experiments::{run_policy_traced, ExperimentConfig, PolicyKind};
+use qes::sim::validate_trace;
+
+const ALL_POLICIES: [PolicyKind; 10] = [
+    PolicyKind::Des,
+    PolicyKind::DesSDvfs,
+    PolicyKind::DesNoDvfs,
+    PolicyKind::DesDiscrete,
+    PolicyKind::Fcfs,
+    PolicyKind::Ljf,
+    PolicyKind::Sjf,
+    PolicyKind::FcfsWf,
+    PolicyKind::LjfWf,
+    PolicyKind::SjfWf,
+];
+
+#[test]
+fn every_policy_trace_validates_under_light_and_heavy_load() {
+    let model = PolynomialPower::PAPER_SIM;
+    for rate in [90.0, 230.0] {
+        let cfg = ExperimentConfig::paper_default()
+            .with_arrival_rate(rate)
+            .with_sim_seconds(6.0);
+        let jobs = cfg.workload().generate(47).unwrap();
+        for kind in ALL_POLICIES {
+            let (_, trace) = run_policy_traced(&cfg, kind, 47);
+            let summary = validate_trace(
+                &trace,
+                &jobs,
+                cfg.num_cores,
+                &model,
+                cfg.budget,
+                0.25, // µs-quantization slack on volumes
+                1e-3, // float slack on power
+            )
+            .unwrap_or_else(|e| panic!("{kind:?} at {rate} req/s: {e}"));
+            assert!(summary.slices > 0, "{kind:?}: empty trace");
+            assert!(summary.jobs_executed > 0, "{kind:?}");
+            assert!(
+                summary.peak_power <= cfg.budget + 1e-3,
+                "{kind:?}: peak {}",
+                summary.peak_power
+            );
+        }
+    }
+}
+
+#[test]
+fn des_peak_power_approaches_budget_under_overload() {
+    // Under overload the scheduler should actually *use* the budget.
+    let model = PolynomialPower::PAPER_SIM;
+    let cfg = ExperimentConfig::paper_default()
+        .with_arrival_rate(240.0)
+        .with_sim_seconds(6.0);
+    let jobs = cfg.workload().generate(3).unwrap();
+    let (_, trace) = run_policy_traced(&cfg, PolicyKind::Des, 3);
+    let summary =
+        validate_trace(&trace, &jobs, cfg.num_cores, &model, cfg.budget, 0.25, 1e-3).unwrap();
+    assert!(
+        summary.peak_power > 0.95 * cfg.budget,
+        "peak {} should approach the {} W budget",
+        summary.peak_power,
+        cfg.budget
+    );
+}

@@ -101,9 +101,9 @@ fn bench_des_invocation(c: &mut Criterion) {
     for per_core in [2usize, 8, 24] {
         let m = 16;
         let now = SimTime::from_millis(1000);
-        let cores: Vec<CoreView> = (0..m)
-            .map(|ci| CoreView {
-                jobs: (0..per_core)
+        let core_jobs: Vec<Vec<ReadyJob>> = (0..m)
+            .map(|ci| {
+                (0..per_core)
                     .map(|i| {
                         let id = (ci * per_core + i) as u32;
                         let demand = 130.0 + ((id as usize * 73) % 870) as f64;
@@ -118,9 +118,12 @@ fn bench_des_invocation(c: &mut Criterion) {
                             processed: 0.0,
                         }
                     })
-                    .collect(),
-                busy: true,
+                    .collect()
             })
+            .collect();
+        let cores: Vec<CoreView> = core_jobs
+            .iter()
+            .map(|jobs| CoreView { jobs, busy: true })
             .collect();
         g.bench_with_input(BenchmarkId::from_parameter(per_core), &cores, |b, cores| {
             let mut policy = DesPolicy::new();

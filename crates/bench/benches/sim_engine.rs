@@ -1,0 +1,204 @@
+//! Engine throughput: simulated jobs per wall-clock second of the
+//! discrete-event core, swept over job count and core count.
+//!
+//! Two policies bracket the measurement: FCFS (cheap decisions, so the
+//! run time is dominated by the engine's own event handling — the
+//! quantity PR 2's index/borrow rework targets) and DES (the paper's
+//! policy, where decision cost shares the bill). The headline metric is
+//! `fcfs/100k_jobs/8_cores`.
+//!
+//! Besides the usual criterion-style stdout report, this bench writes
+//! `BENCH_sim_engine.json` at the workspace root. Set
+//! `QES_BENCH_BASELINE=<path to a previous BENCH_sim_engine.json>` to
+//! embed those numbers as the baseline and print speedups; set
+//! `QES_BENCH_FULL=1` to add the 1M-job configurations.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qes_core::power::PolynomialPower;
+use qes_core::quality::ExpQuality;
+use qes_core::time::SimDuration;
+use qes_core::UNITS_PER_GHZ_SECOND;
+use qes_multicore::{BaselineOrder, BaselinePolicy, DesPolicy, SchedulingPolicy};
+use qes_sim::engine::{SimConfig, Simulator};
+use qes_workload::WebSearchWorkload;
+
+const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
+const QUALITY: ExpQuality = ExpQuality::PAPER_DEFAULT;
+/// Offered load as a fraction of an `m`-core 2 GHz server's capacity;
+/// ~90 % keeps every core busy without letting deadlines expire en masse.
+const UTILIZATION: f64 = 0.9;
+const MEAN_DEMAND: f64 = 192.0;
+
+fn arrival_rate(cores: usize) -> f64 {
+    UTILIZATION * cores as f64 * 2.0 * UNITS_PER_GHZ_SECOND / MEAN_DEMAND
+}
+
+struct Sample {
+    policy: &'static str,
+    jobs: usize,
+    cores: usize,
+    wall_s: f64,
+    jobs_per_sec: f64,
+}
+
+impl Sample {
+    fn key(&self) -> String {
+        format!("{}/{}_jobs/{}_cores", self.policy, self.jobs, self.cores)
+    }
+}
+
+fn make_policy(name: &str) -> Box<dyn SchedulingPolicy> {
+    match name {
+        "fcfs" => Box::new(BaselinePolicy::new(BaselineOrder::Fcfs)),
+        "des" => Box::new(DesPolicy::new()),
+        other => panic!("unknown bench policy {other}"),
+    }
+}
+
+/// Run one configuration to completion, returning the median wall time of
+/// `reps` runs.
+fn run_config(policy: &'static str, jobs: usize, cores: usize, reps: usize) -> Sample {
+    let trace = WebSearchWorkload::new(arrival_rate(cores))
+        .generate_exact(jobs, 42)
+        .expect("bench workload generates");
+    let end = trace.last_deadline().expect("non-empty trace");
+    let mut walls: Vec<f64> = (0..reps)
+        .map(|_| {
+            let cfg = SimConfig {
+                num_cores: cores,
+                budget: 40.0 * cores as f64,
+                model: &MODEL,
+                quality: &QUALITY,
+                end,
+                record_trace: false,
+                overhead: SimDuration::ZERO,
+            };
+            let mut p = make_policy(policy);
+            let t = Instant::now();
+            let (report, _) = Simulator::run(&cfg, p.as_mut(), &trace);
+            let wall = t.elapsed().as_secs_f64();
+            assert_eq!(report.jobs_total, jobs, "engine lost jobs");
+            wall
+        })
+        .collect();
+    walls.sort_by(|a, b| a.total_cmp(b));
+    let wall_s = walls[walls.len() / 2];
+    Sample {
+        policy,
+        jobs,
+        cores,
+        wall_s,
+        jobs_per_sec: jobs as f64 / wall_s,
+    }
+}
+
+fn read_baseline(path: &str) -> Option<String> {
+    std::fs::read_to_string(path).ok()
+}
+
+/// Extract `"key": {... "jobs_per_sec": X}` from a previous report.
+fn baseline_rate(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\""))?;
+    let tail = &json[at..];
+    let field = tail.find("\"jobs_per_sec\":")?;
+    let rest = tail[field + 15..].trim_start();
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    if c.is_smoke() {
+        // Smoke mode (`cargo bench -- --test`): one tiny run per policy,
+        // no JSON, so CI exercises the path in seconds.
+        for policy in ["fcfs", "des"] {
+            let s = run_config(policy, 1_000, 4, 1);
+            println!(
+                "sim_engine/{} (smoke): ok ({:.0} jobs/s)",
+                s.key(),
+                s.jobs_per_sec
+            );
+        }
+        return;
+    }
+
+    let full = std::env::var("QES_BENCH_FULL").is_ok_and(|v| v == "1");
+    let mut grid: Vec<(&'static str, usize, usize)> = vec![
+        ("fcfs", 100_000, 4),
+        ("fcfs", 100_000, 8),
+        ("fcfs", 100_000, 16),
+        ("fcfs", 100_000, 32),
+        ("des", 100_000, 4),
+        ("des", 100_000, 8),
+        ("des", 100_000, 16),
+        ("des", 100_000, 32),
+    ];
+    if full {
+        grid.push(("fcfs", 1_000_000, 8));
+        grid.push(("des", 1_000_000, 8));
+    }
+
+    let baseline = std::env::var("QES_BENCH_BASELINE")
+        .ok()
+        .and_then(|p| read_baseline(&p));
+
+    let mut samples = Vec::new();
+    for (policy, jobs, cores) in grid {
+        let reps = if jobs >= 1_000_000 { 1 } else { 3 };
+        let s = run_config(policy, jobs, cores, reps);
+        let speedup = baseline
+            .as_deref()
+            .and_then(|b| baseline_rate(b, &s.key()))
+            .map(|base| format!("  [{:.2}x vs baseline]", s.jobs_per_sec / base))
+            .unwrap_or_default();
+        println!(
+            "sim_engine/{}: {:.3} s  ({:.0} jobs/s){}",
+            s.key(),
+            s.wall_s,
+            s.jobs_per_sec,
+            speedup
+        );
+        samples.push(s);
+    }
+
+    write_report(&samples, baseline.as_deref());
+}
+
+fn write_report(samples: &[Sample], baseline: Option<&str>) {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_sim_engine.json");
+    let mut out = String::from("{\n  \"bench\": \"sim_engine\",\n  \"units\": \"simulated jobs per wall-clock second\",\n  \"results\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"policy\": \"{}\", \"jobs\": {}, \"cores\": {}, \"wall_s\": {:.4}, \"jobs_per_sec\": {:.0} }}{}",
+            s.key(),
+            s.policy,
+            s.jobs,
+            s.cores,
+            s.wall_s,
+            s.jobs_per_sec,
+            comma
+        );
+    }
+    out.push_str("  }");
+    if let Some(base) = baseline {
+        // Embed the prior report (indented) so the committed file carries
+        // its own point of comparison.
+        out.push_str(",\n  \"baseline\": ");
+        let indented = base.trim_end().replace('\n', "\n  ");
+        out.push_str(&indented);
+    }
+    out.push_str("\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("sim_engine: wrote {path}"),
+        Err(e) => eprintln!("sim_engine: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(sim_engine, bench_sim_engine);
+criterion_main!(sim_engine);

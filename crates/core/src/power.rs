@@ -89,7 +89,18 @@ impl PolynomialPower {
 impl PowerModel for PolynomialPower {
     #[inline]
     fn dynamic_power(&self, s: f64) -> f64 {
-        self.a * s.max(0.0).powf(self.beta)
+        let s = s.max(0.0);
+        // `powf` dominates the simulation engine's slice integration for
+        // the common cubic/square exponents; special-case them (exact
+        // float compares are fine — the constants come from the paper's
+        // models, not arithmetic).
+        if self.beta == 2.0 {
+            self.a * s * s
+        } else if self.beta == 3.0 {
+            self.a * s * s * s
+        } else {
+            self.a * s.powf(self.beta)
+        }
     }
 
     #[inline]
@@ -102,7 +113,11 @@ impl PowerModel for PolynomialPower {
         if p <= 0.0 {
             return 0.0;
         }
-        (p / self.a).powf(1.0 / self.beta)
+        if self.beta == 2.0 {
+            (p / self.a).sqrt()
+        } else {
+            (p / self.a).powf(1.0 / self.beta)
+        }
     }
 }
 

@@ -1,0 +1,313 @@
+//! Offline mini benchmark harness exposing the subset of the `criterion`
+//! 0.5 surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small replacement: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros. Differences from
+//! upstream, by design:
+//!
+//! * No statistical analysis: each benchmark reports the median of
+//!   `sample_size` timed samples (plus throughput when configured).
+//! * `--test` (as passed by `cargo bench -- --test`) runs every
+//!   benchmark body exactly once as a smoke test, like upstream.
+//! * Results go to stdout; use [`Measurement::median_nanos`] from a
+//!   `harness = false` bench that wants machine-readable numbers.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifies one benchmark inside a group (subset of
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new<P: fmt::Display>(function: &str, p: P) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// One benchmark's timing result.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    median_nanos: f64,
+}
+
+impl Measurement {
+    /// Median wall-clock nanoseconds of one iteration.
+    pub fn median_nanos(&self) -> f64 {
+        self.median_nanos
+    }
+}
+
+/// Times the benchmark body (subset of `criterion::Bencher`).
+pub struct Bencher {
+    smoke: bool,
+    samples: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up and calibration: pick an iteration count so one sample
+        // takes ≳2 ms, keeping timer quantization below ~0.1%.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().as_nanos().max(1) as u64;
+        let iters = (2_000_000 / once).clamp(1, 1_000_000);
+        let mut samples: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Measurement {
+            median_nanos: samples[samples.len() / 2],
+        });
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    name: &str,
+    smoke: bool,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: F,
+) -> Option<Measurement> {
+    let mut b = Bencher {
+        smoke,
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    if smoke {
+        println!("{name}: ok (smoke)");
+        return None;
+    }
+    let m = b.result?;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 * 1e9 / m.median_nanos)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.0} B/s)", n as f64 * 1e9 / m.median_nanos)
+        }
+        None => String::new(),
+    };
+    println!("{name}: {}{rate}", fmt_nanos(m.median_nanos));
+    Some(m)
+}
+
+/// A named collection of related benchmarks (subset of
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (upstream's meaning; here
+    /// simply the sample count the median is taken over).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(
+            &full,
+            self.criterion.smoke,
+            self.samples,
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(
+            &full,
+            self.criterion.smoke,
+            self.samples,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point (subset of `criterion::Criterion`).
+pub struct Criterion {
+    smoke: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` asks for a single smoke iteration per
+        // bench; any other CLI flags upstream accepts are ignored here.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            smoke,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: self.default_samples,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.smoke, self.default_samples, None, |b| f(b));
+        self
+    }
+
+    /// Run `f` and return its measurement directly — an extension over
+    /// upstream for `harness = false` benches that post-process timings
+    /// (e.g. to write a JSON baseline).
+    pub fn measure<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) -> Option<Measurement> {
+        run_one(name, self.smoke, self.default_samples, throughput, |b| f(b))
+    }
+
+    /// True when running in `--test` smoke mode.
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut b = Bencher {
+            smoke: false,
+            samples: 3,
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        let m = b.result.expect("measurement recorded");
+        assert!(m.median_nanos() > 0.0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once_without_result() {
+        let mut count = 0;
+        let mut b = Bencher {
+            smoke: true,
+            samples: 10,
+            result: None,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.result.is_none());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(16).0, "16");
+        assert_eq!(BenchmarkId::new("f", 2).0, "f/2");
+    }
+}

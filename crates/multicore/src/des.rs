@@ -208,8 +208,11 @@ impl SchedulingPolicy for DesPolicy {
         }
         let dealt = self.crr.assign(live_queue.len(), m);
         let mut assignments = Vec::with_capacity(live_queue.len());
-        let mut per_core: Vec<Vec<ReadyJob>> =
-            view.cores.iter().map(|c| c.live_jobs(now)).collect();
+        let mut per_core: Vec<Vec<ReadyJob>> = view
+            .cores
+            .iter()
+            .map(|c| c.live_jobs(now).collect())
+            .collect();
         for (r, &core) in live_queue.iter().zip(&dealt) {
             assignments.push((r.job.id, core));
             per_core[core].push(**r);
@@ -315,7 +318,7 @@ mod tests {
     fn view<'a>(
         now: SimTime,
         queue: &'a [ReadyJob],
-        cores: &'a [CoreView],
+        cores: &'a [CoreView<'a>],
         budget: f64,
     ) -> SystemView<'a> {
         SystemView {

@@ -13,23 +13,27 @@ use qes_core::time::{SimDuration, SimTime};
 use qes_singlecore::online_qe::ReadyJob;
 
 /// What one core looks like at a trigger instant.
-#[derive(Clone, Debug, Default)]
-pub struct CoreView {
+///
+/// The view *borrows* the engine's per-core job list — building a
+/// [`SystemView`] is allocation-free, so policies with cheap decisions
+/// (the one-job-at-a-time baselines) are not taxed by snapshot copies on
+/// every trigger.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreView<'a> {
     /// Unfinished, unexpired jobs assigned to this core (non-migratory),
     /// with their processed volumes. Includes the running job, if any.
-    pub jobs: Vec<ReadyJob>,
+    pub jobs: &'a [ReadyJob],
     /// True if the core still has planned work from the previous decision.
     pub busy: bool,
 }
 
-impl CoreView {
+impl CoreView<'_> {
     /// Jobs still live at `now` with remaining work.
-    pub fn live_jobs(&self, now: SimTime) -> Vec<ReadyJob> {
+    pub fn live_jobs(&self, now: SimTime) -> impl Iterator<Item = ReadyJob> + '_ {
         self.jobs
             .iter()
-            .filter(|r| r.job.deadline > now && r.remaining() > 1e-9)
+            .filter(move |r| r.job.deadline > now && r.remaining() > 1e-9)
             .copied()
-            .collect()
     }
 }
 
@@ -40,7 +44,7 @@ pub struct SystemView<'a> {
     /// Arrived, not-yet-assigned jobs, in arrival order.
     pub queue: &'a [ReadyJob],
     /// Per-core state.
-    pub cores: &'a [CoreView],
+    pub cores: &'a [CoreView<'a>],
     /// Total dynamic power budget `H` (W).
     pub budget: f64,
     /// The per-core power model.
@@ -61,7 +65,9 @@ pub struct PolicyDecision {
     /// assigned at most once and stays on its core forever (non-migratory).
     pub assignments: Vec<(JobId, usize)>,
     /// Replacement plan per core, with slices starting at or after the
-    /// trigger instant. `None` keeps the core's current plan.
+    /// trigger instant. `None` keeps the core's current plan; a vector
+    /// shorter than the core count keeps the plans of the missing tail
+    /// (so an empty vector keeps every core's plan).
     pub plans: Vec<Option<CoreSchedule>>,
     /// Jobs abandoned now (engine stops tracking them; their quality is
     /// settled from whatever volume they already processed).
@@ -71,18 +77,20 @@ pub struct PolicyDecision {
     /// the C-DVFS behaviour). No-DVFS cores cannot scale down and spin at
     /// their fixed speed; S-DVFS cores are locked to the shared clock
     /// (§V-A), so both report nonzero ambient speeds here.
+    ///
+    /// **Length contract:** either empty or exactly one entry per core.
+    /// Any other length is a policy bug: the engine rejects it with a
+    /// `debug_assert!` and ignores the vector in release builds rather
+    /// than misattributing speeds to the wrong cores.
     pub ambient_speeds: Vec<f64>,
 }
 
 impl PolicyDecision {
-    /// A decision that keeps every core's current plan.
-    pub fn keep_all(num_cores: usize) -> Self {
-        PolicyDecision {
-            assignments: Vec::new(),
-            plans: vec![None; num_cores],
-            discarded: Vec::new(),
-            ambient_speeds: Vec::new(),
-        }
+    /// A decision that keeps every core's current plan. Allocation-free:
+    /// an empty `plans` vector means "no replacements", whatever the core
+    /// count.
+    pub fn keep_all(_num_cores: usize) -> Self {
+        PolicyDecision::default()
     }
 }
 
@@ -150,15 +158,16 @@ mod tests {
             job: Job::new(id, ms(0), ms(d), w).unwrap(),
             processed: done,
         };
+        let jobs = [
+            mk(0, 100, 50.0, 0.0),
+            mk(1, 100, 50.0, 50.0),
+            mk(2, 10, 50.0, 0.0),
+        ];
         let core = CoreView {
-            jobs: vec![
-                mk(0, 100, 50.0, 0.0),
-                mk(1, 100, 50.0, 50.0),
-                mk(2, 10, 50.0, 0.0),
-            ],
+            jobs: &jobs,
             busy: true,
         };
-        let live = core.live_jobs(ms(50));
+        let live: Vec<_> = core.live_jobs(ms(50)).collect();
         assert_eq!(live.len(), 1);
         assert_eq!(live[0].job.id.0, 0);
     }
@@ -178,8 +187,9 @@ mod tests {
     #[test]
     fn keep_all_preserves_plans() {
         let d = PolicyDecision::keep_all(3);
-        assert_eq!(d.plans.len(), 3);
         assert!(d.plans.iter().all(|p| p.is_none()));
         assert!(d.assignments.is_empty());
+        assert!(d.discarded.is_empty());
+        assert!(d.ambient_speeds.is_empty());
     }
 }

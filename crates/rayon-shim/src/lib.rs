@@ -1,0 +1,77 @@
+//! Offline stand-in for the subset of `rayon`'s parallel-iterator API the
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so `par_iter()` /
+//! `into_par_iter()` here return the corresponding *sequential* standard
+//! iterators: every adapter chain (`map`, `enumerate`, `collect`, …)
+//! compiles unchanged, results are identical, and only wall-clock
+//! parallelism is lost. Swapping the workspace dependency back to the
+//! real `rayon` restores it with no source changes (tracked as a ROADMAP
+//! open item).
+
+/// Mirror of `rayon::iter::IntoParallelIterator`, yielding the sequential
+/// `IntoIterator` iterator.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator`: `c.par_iter()` is
+/// `(&c).into_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_par_iter_maps_and_collects() {
+        let v = vec![1, 2, 3];
+        let out: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn vec_and_range_into_par_iter() {
+        let out: Vec<usize> = (0..4usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        let v: Vec<String> = vec!["a", "b"]
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}{s}"))
+            .collect();
+        assert_eq!(v, vec!["0a", "1b"]);
+    }
+}

@@ -174,7 +174,10 @@ pub(crate) fn edf_pack(jobs: &[(VJob, f64)], speed_ghz: f64, start: u64) -> Vec<
     let mut items: Vec<Item> = jobs
         .iter()
         .filter(|&&(_, vol)| vol > 0.0)
-        .map(|&(vj, vol)| Item { vj, remaining_us: vol * us_per_unit })
+        .map(|&(vj, vol)| Item {
+            vj,
+            remaining_us: vol * us_per_unit,
+        })
         .collect();
     // Release order for the sweep.
     let mut by_release: Vec<usize> = (0..items.len()).collect();
@@ -370,8 +373,18 @@ mod tests {
         // (the shape Online-QE's release rewinding produces). The long
         // job must start first, yield when the tight job releases, and
         // resume after — no deadline overrun.
-        let long = VJob { id: JobId(0), r: 0, d: 100_000, w: 80.0 };
-        let tight = VJob { id: JobId(1), r: 40_000, d: 60_000, w: 20.0 };
+        let long = VJob {
+            id: JobId(0),
+            r: 0,
+            d: 100_000,
+            w: 80.0,
+        };
+        let tight = VJob {
+            id: JobId(1),
+            r: 40_000,
+            d: 60_000,
+            w: 20.0,
+        };
         // 1 GHz: 80 units = 80 000 µs, 20 units = 20 000 µs; total exactly
         // fills [0, 100 000].
         let slices = edf_pack(&[(tight, 20.0), (long, 80.0)], 1.0, 0);
@@ -391,8 +404,18 @@ mod tests {
     fn edf_pack_merges_contiguous_slices_of_one_job() {
         // A release event that does NOT preempt (the new arrival has a
         // later deadline) must not split the running job's slice.
-        let a = VJob { id: JobId(0), r: 0, d: 50_000, w: 30.0 };
-        let b = VJob { id: JobId(1), r: 10_000, d: 90_000, w: 20.0 };
+        let a = VJob {
+            id: JobId(0),
+            r: 0,
+            d: 50_000,
+            w: 30.0,
+        };
+        let b = VJob {
+            id: JobId(1),
+            r: 10_000,
+            d: 90_000,
+            w: 20.0,
+        };
         let slices = edf_pack(&[(a, 30.0), (b, 20.0)], 1.0, 0);
         assert_eq!(
             slices,
@@ -402,7 +425,12 @@ mod tests {
 
     #[test]
     fn edf_pack_idles_until_first_release() {
-        let a = VJob { id: JobId(0), r: 25_000, d: 80_000, w: 10.0 };
+        let a = VJob {
+            id: JobId(0),
+            r: 25_000,
+            d: 80_000,
+            w: 10.0,
+        };
         let slices = edf_pack(&[(a, 10.0)], 1.0, 0);
         assert_eq!(slices, vec![(JobId(0), 25_000, 35_000)]);
     }
@@ -412,7 +440,12 @@ mod tests {
         // Deliberately infeasible volume: release build clamps silently.
         // (Debug builds assert; keep the volume overrun under the assert's
         // tolerance by using an exactly-at-deadline assignment.)
-        let a = VJob { id: JobId(0), r: 0, d: 10_000, w: 10.0 };
+        let a = VJob {
+            id: JobId(0),
+            r: 0,
+            d: 10_000,
+            w: 10.0,
+        };
         let slices = edf_pack(&[(a, 10.0)], 1.0, 0);
         assert_eq!(slices, vec![(JobId(0), 0, 10_000)]);
     }

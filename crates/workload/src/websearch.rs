@@ -92,6 +92,34 @@ impl WebSearchWorkload {
         JobSet::new(jobs)
     }
 
+    /// Generate a stream of exactly `n` jobs, ignoring the configured
+    /// horizon (the stream simply runs as long as the Poisson process
+    /// takes to emit `n` arrivals).
+    ///
+    /// This is the large-trace entry point used by the engine throughput
+    /// benchmarks, where the interesting scale knob is the *job count*
+    /// (100k–1M) rather than the simulated duration.
+    pub fn generate_exact(&self, n: usize, seed: u64) -> Result<JobSet, QesError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals = PoissonArrivals::new(self.arrival_rate);
+        let mut jobs = Vec::with_capacity(n);
+        let mut at_us = 0.0f64;
+        for i in 0..n {
+            at_us += arrivals.sample_gap_secs(&mut rng) * 1e6;
+            let at = SimTime::from_micros(at_us as u64);
+            let demand = self.demand.sample(&mut rng);
+            let partial = rng.gen::<f64>() < self.partial_fraction;
+            jobs.push(Job::with_partial(
+                i as u32,
+                at,
+                at + self.deadline,
+                demand,
+                partial,
+            )?);
+        }
+        JobSet::new(jobs)
+    }
+
     /// Expected offered load in processing units per second.
     pub fn offered_units_per_sec(&self) -> f64 {
         self.arrival_rate * self.demand.mean()

@@ -4,8 +4,11 @@
 //! Two policies bracket the measurement: FCFS (cheap decisions, so the
 //! run time is dominated by the engine's own event handling — the
 //! quantity PR 2's index/borrow rework targets) and DES (the paper's
-//! policy, where decision cost shares the bill). The headline metric is
-//! `fcfs/100k_jobs/8_cores`.
+//! policy, where decision cost shares the bill). The headline metrics
+//! are `fcfs/100k_jobs/8_cores` and `des/100k_jobs/8_cores`; the
+//! `des-pe` (per-event triggers, full recompute — the pre-trigger
+//! behaviour) and `des-full` (grouped triggers, full recompute) rows
+//! ablate where the DES speedup comes from.
 //!
 //! Besides the usual criterion-style stdout report, this bench writes
 //! `BENCH_sim_engine.json` at the workspace root. Set
@@ -22,7 +25,9 @@ use qes_core::power::PolynomialPower;
 use qes_core::quality::ExpQuality;
 use qes_core::time::SimDuration;
 use qes_core::UNITS_PER_GHZ_SECOND;
-use qes_multicore::{BaselineOrder, BaselinePolicy, DesPolicy, SchedulingPolicy};
+use qes_multicore::{
+    BaselineOrder, BaselinePolicy, DesPolicy, RecomputeMode, SchedulingPolicy, TriggerRequest,
+};
 use qes_sim::engine::{SimConfig, Simulator};
 use qes_workload::WebSearchWorkload;
 
@@ -54,7 +59,18 @@ impl Sample {
 fn make_policy(name: &str) -> Box<dyn SchedulingPolicy> {
     match name {
         "fcfs" => Box::new(BaselinePolicy::new(BaselineOrder::Fcfs)),
+        // Grouped triggers + incremental recomputation (the defaults).
         "des" => Box::new(DesPolicy::new()),
+        // Grouped triggers, but every invocation recomputes from scratch:
+        // isolates the trigger win from the memoization win.
+        "des-full" => Box::new(DesPolicy::new().with_recompute(RecomputeMode::Full)),
+        // §IV-E Immediate Scheduling with full recomputation — the PR-2
+        // behaviour, kept as an in-tree reference point.
+        "des-pe" => Box::new(
+            DesPolicy::new()
+                .with_triggers(TriggerRequest::per_event())
+                .with_recompute(RecomputeMode::Full),
+        ),
         other => panic!("unknown bench policy {other}"),
     }
 }
@@ -135,6 +151,10 @@ fn bench_sim_engine(c: &mut Criterion) {
         ("des", 100_000, 8),
         ("des", 100_000, 16),
         ("des", 100_000, 32),
+        // Ablation at the headline grid point: per-event/full-recompute
+        // (the old behaviour) vs grouped/full vs grouped/incremental.
+        ("des-pe", 100_000, 8),
+        ("des-full", 100_000, 8),
     ];
     if full {
         grid.push(("fcfs", 1_000_000, 8));

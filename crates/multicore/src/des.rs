@@ -31,7 +31,7 @@ use crate::arch::{fixed_speed_plan, ArchKind};
 use crate::crr::CrrDistributor;
 use crate::discrete::{rectify_speeds, snap_plan_up};
 use crate::policy::{PolicyDecision, SchedulingPolicy, SystemView, TriggerRequest};
-use crate::water_filling::water_filling;
+use crate::water_filling::{water_filling, WaterFillingCache};
 
 /// How DES distributes ready jobs to cores (ablation knob; the paper's
 /// design is [`JobSharing::Crr`], §IV-B).
@@ -59,6 +59,58 @@ pub enum PowerSharing {
     StaticEqual,
 }
 
+/// How DES recomputes per-core schedules across invocations.
+///
+/// The two modes are **bit-identical by construction** (asserted by the
+/// differential suite, `tests/differential.rs`): both share the same
+/// closed-form power probe and the same plan-construction functions, and
+/// `Incremental` only skips a recomputation when its inputs — invocation
+/// instant, live job set with sunk-work frontier, and grant — are exactly
+/// the inputs the cached result was computed from, so the recomputation
+/// is a pure function that would return the cached value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RecomputeMode {
+    /// Rebuild every core's plan from scratch on every invocation — the
+    /// reference the differential suite compares against.
+    Full,
+    /// Reuse a core's cached `CoreSchedule` when unchanged, and re-level
+    /// water-filling only when the request vector changes.
+    #[default]
+    Incremental,
+}
+
+/// What produced a cached plan: the step-2 early exit (budget-free
+/// Energy-OPT) or a budget-bounded solve under an exact grant (bits).
+/// The branch is part of the cache key — two invocations at the same
+/// instant over the same job set still differ if the *system-wide*
+/// budget check flipped in between.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PlanKey {
+    Free,
+    Granted(u64),
+}
+
+/// Canonical job-set signature entry: `(id, demand bits, processed bits,
+/// deadline µs)`.
+type Sig = (u32, u64, u64, u64);
+
+/// Per-core cache for [`RecomputeMode::Incremental`].
+#[derive(Clone, Debug, Default)]
+struct CoreMemo {
+    /// Canonical (id-sorted) signature of the live job set the plan was
+    /// computed from: `(id, demand bits, processed bits, deadline µs)`.
+    /// Bitwise `processed` makes any sunk-work advance invalidate.
+    sig: Vec<Sig>,
+    /// Invocation instant of the cached computation, in µs. Plans are
+    /// time-dependent (YDS stretches to the deadlines as seen from
+    /// `now`), so reuse requires the same instant — which happens
+    /// whenever several triggers coincide at one event time.
+    now_us: u64,
+    /// What produced `plan`; `None` means nothing cached.
+    key: Option<PlanKey>,
+    plan: CoreSchedule,
+}
+
 /// The DES scheduling policy.
 #[derive(Clone, Debug)]
 pub struct DesPolicy {
@@ -69,6 +121,15 @@ pub struct DesPolicy {
     job_sharing: JobSharing,
     power_sharing: PowerSharing,
     mode: OnlineMode,
+    recompute: RecomputeMode,
+    memo: Vec<CoreMemo>,
+    wf_cache: WaterFillingCache,
+    /// Per core: every plan installed since the core's last
+    /// budget-bounded (or discrete) recomputation came from the step-2
+    /// early exit. Part of the *decision procedure* (maintained
+    /// identically by both [`RecomputeMode`]s), not a cache: it licenses
+    /// the keep-plan rule in `on_trigger`.
+    free_streak: Vec<bool>,
 }
 
 impl DesPolicy {
@@ -87,6 +148,10 @@ impl DesPolicy {
             job_sharing: JobSharing::Crr,
             power_sharing: PowerSharing::WaterFilling,
             mode: OnlineMode::Eager,
+            recompute: RecomputeMode::default(),
+            memo: Vec::new(),
+            wf_cache: WaterFillingCache::new(),
+            free_streak: Vec::new(),
         }
     }
 
@@ -123,44 +188,90 @@ impl DesPolicy {
         self
     }
 
+    /// Choose the recomputation strategy (default:
+    /// [`RecomputeMode::Incremental`]).
+    pub fn with_recompute(mut self, r: RecomputeMode) -> Self {
+        self.recompute = r;
+        self
+    }
+
     /// The architecture this instance runs on.
     pub fn arch(&self) -> ArchKind {
         self.arch
     }
 
-    /// Step 3: distribute the budget per the configured policy.
-    fn distribute_power(&self, requests: &[f64], budget: f64, m: usize) -> Vec<f64> {
+    /// Step 3: distribute the budget per the configured policy. In
+    /// incremental mode water-filling re-levels only when the request
+    /// vector or budget changed since the previous invocation.
+    fn distribute_power(&mut self, requests: &[f64], budget: f64, m: usize) -> Vec<f64> {
         match self.power_sharing {
-            PowerSharing::WaterFilling => water_filling(requests, budget),
+            PowerSharing::WaterFilling => {
+                if self.recompute == RecomputeMode::Incremental {
+                    self.wf_cache.grants(requests, budget).to_vec()
+                } else {
+                    water_filling(requests, budget)
+                }
+            }
             PowerSharing::StaticEqual => vec![budget / m as f64; m],
         }
     }
 
-    /// Step 2: per-core unconstrained Energy-OPT; returns each core's
-    /// instantaneous power request and the schedule that produced it.
-    fn budget_free_probe(
-        view: &SystemView<'_>,
-        per_core: &[Vec<ReadyJob>],
-    ) -> (Vec<f64>, Vec<CoreSchedule>) {
-        let mut requests = Vec::with_capacity(per_core.len());
-        let mut schedules = Vec::with_capacity(per_core.len());
-        for ready in per_core {
-            // Re-release every job at `now` with its remaining demand: the
-            // sunk work needs no future power.
-            let jobs: Vec<Job> = ready
-                .iter()
-                .filter(|r| r.remaining() > 1e-9)
-                .map(|r| Job {
-                    release: view.now,
-                    demand: r.remaining(),
-                    ..r.job
-                })
-                .collect();
-            let res = energy_opt(&JobSet::new_unchecked(jobs));
-            requests.push(view.model.dynamic_power(res.initial_speed()));
-            schedules.push(res.schedule);
+    /// Step 2's power request in closed form. With every job re-released
+    /// at `now`, the unconstrained YDS profile is non-increasing, so its
+    /// initial (peak) speed — the probe value `P_i(t)` — is the maximum
+    /// prefix density over deadline-ordered jobs. This replaces a full
+    /// Energy-OPT solve per core per invocation; the schedule itself is
+    /// only materialized on the early-exit branch. Shared verbatim by
+    /// both [`RecomputeMode`]s so their requests agree bit-for-bit.
+    fn probe_request(view: &SystemView<'_>, live: impl Iterator<Item = ReadyJob>) -> f64 {
+        let now_us = view.now.as_micros();
+        // The id tiebreak makes the summation order — and so the float
+        // result — a function of the job set, not the caller's order.
+        let mut dw: Vec<(u64, u32, f64)> = live
+            .map(|r| (r.job.deadline.as_micros(), r.job.id.0, r.remaining()))
+            .collect();
+        dw.sort_unstable_by_key(|&(d, id, _)| (d, id));
+        let mut cum = 0.0;
+        let mut speed: f64 = 0.0;
+        for &(d_us, _, w) in &dw {
+            cum += w;
+            speed = speed.max(cum * 1000.0 / (d_us - now_us) as f64);
         }
-        (requests, schedules)
+        view.model.dynamic_power(speed)
+    }
+
+    /// Canonical (id-sorted) signature of a core's live job set — the
+    /// incremental cache key. Order-independent: the engine's per-core
+    /// lists are reordered by `swap_remove`, which must not look like a
+    /// state change.
+    fn signature(live: impl Iterator<Item = ReadyJob>) -> Vec<(u32, u64, u64, u64)> {
+        let mut sig: Vec<(u32, u64, u64, u64)> = live
+            .map(|r| {
+                (
+                    r.job.id.0,
+                    r.job.demand.to_bits(),
+                    r.processed.to_bits(),
+                    r.job.deadline.as_micros(),
+                )
+            })
+            .collect();
+        sig.sort_unstable();
+        sig
+    }
+
+    /// The step-2 early-exit schedule for one core: unconstrained
+    /// Energy-OPT over the live jobs re-released at `now` with their
+    /// remaining demands (the sunk work needs no future power).
+    fn free_schedule(view: &SystemView<'_>, ready: &[ReadyJob]) -> CoreSchedule {
+        let jobs: Vec<Job> = ready
+            .iter()
+            .map(|r| Job {
+                release: view.now,
+                demand: r.remaining(),
+                ..r.job
+            })
+            .collect();
+        energy_opt(&JobSet::new_unchecked(jobs)).schedule
     }
 }
 
@@ -185,6 +296,9 @@ impl SchedulingPolicy for DesPolicy {
         if self.mode == OnlineMode::Efficient {
             n.push_str("/efficient");
         }
+        if self.recompute == RecomputeMode::Full {
+            n.push_str("/full-recompute");
+        }
         n
     }
 
@@ -208,15 +322,24 @@ impl SchedulingPolicy for DesPolicy {
         }
         let dealt = self.crr.assign(live_queue.len(), m);
         let mut assignments = Vec::with_capacity(live_queue.len());
-        let mut per_core: Vec<Vec<ReadyJob>> = view
-            .cores
-            .iter()
-            .map(|c| c.live_jobs(now).collect())
-            .collect();
+        // Newly dealt jobs, kept apart from the *borrowed* core views: a
+        // core that receives no new work and needs no recomputation never
+        // copies its job list.
+        let mut extra: Vec<Vec<ReadyJob>> = vec![Vec::new(); m];
         for (r, &core) in live_queue.iter().zip(&dealt) {
             assignments.push((r.job.id, core));
-            per_core[core].push(**r);
+            extra[core].push(**r);
         }
+        // One core's live set (current jobs + newly dealt), borrowed.
+        let live_iter = |c: usize| view.cores[c].live_jobs(now).chain(extra[c].iter().copied());
+        // The same set materialized in canonical (deadline, id) order for
+        // plan construction — the order Online-QE itself canonicalizes
+        // to, so every computed plan is a function of the job set alone.
+        let materialize = |c: usize| -> Vec<ReadyJob> {
+            let mut v: Vec<ReadyJob> = live_iter(c).collect();
+            v.sort_unstable_by_key(|r| (r.job.deadline, r.job.id));
+            v
+        };
 
         let mut plans: Vec<Option<CoreSchedule>> = Vec::with_capacity(m);
         let mut discarded: Vec<JobId> = Vec::new();
@@ -227,8 +350,8 @@ impl SchedulingPolicy for DesPolicy {
                 // Fixed speed funded by the static equal share; cores
                 // cannot scale down, so they draw it even when idle.
                 let s_fix = view.model.speed_for_dynamic_power(view.budget / m as f64);
-                for ready in &per_core {
-                    let (plan, disc) = fixed_speed_plan(now, ready, s_fix);
+                for c in 0..m {
+                    let (plan, disc) = fixed_speed_plan(now, &materialize(c), s_fix);
                     plans.push(Some(plan));
                     discarded.extend(disc);
                 }
@@ -237,12 +360,13 @@ impl SchedulingPolicy for DesPolicy {
             ArchKind::SDvfs => {
                 // One shared clock: the maximum request, clamped by the
                 // equal share (WF over identical requests).
-                let (requests, _) = Self::budget_free_probe(view, &per_core);
-                let h_max = requests.iter().fold(0.0, |a: f64, &b| a.max(b));
+                let h_max = (0..m)
+                    .map(|c| Self::probe_request(view, live_iter(c)))
+                    .fold(0.0, f64::max);
                 let shared = h_max.min(view.budget / m as f64);
                 let s_shared = view.model.speed_for_dynamic_power(shared);
-                for ready in &per_core {
-                    let (plan, disc) = fixed_speed_plan(now, ready, s_shared);
+                for c in 0..m {
+                    let (plan, disc) = fixed_speed_plan(now, &materialize(c), s_shared);
                     plans.push(Some(plan));
                     discarded.extend(disc);
                 }
@@ -250,34 +374,156 @@ impl SchedulingPolicy for DesPolicy {
                 ambient = vec![s_shared; m];
             }
             ArchKind::CDvfs => {
-                let (requests, free_schedules) = Self::budget_free_probe(view, &per_core);
+                let inc = self.recompute == RecomputeMode::Incremental;
+                if self.memo.len() != m {
+                    self.memo = vec![CoreMemo::default(); m];
+                }
+                if self.free_streak.len() != m {
+                    self.free_streak = vec![false; m];
+                }
+                let now_us = now.as_micros();
+                // Requests depend on `now`, so they are recomputed every
+                // invocation — but via the closed form, not a YDS solve.
+                let requests: Vec<f64> = (0..m)
+                    .map(|c| Self::probe_request(view, live_iter(c)))
+                    .collect();
                 let total: f64 = requests.iter().sum();
+                // Canonical signatures, built lazily: cores resolved by
+                // the keep rule or the empty check never pay for one.
+                let mut sigs: Vec<Option<Vec<Sig>>> = vec![None; m];
+                // A cached plan is reusable only if it was computed at
+                // this same instant from this same live set (bitwise);
+                // the grant side of the key is checked per branch below.
+                let clean = |memo: &CoreMemo, sig: &[Sig]| memo.now_us == now_us && memo.sig == sig;
+                // Hoisted out of the match: `distribute_power` needs
+                // `&mut self` (WF cache), which cannot overlap the borrow
+                // of `self.discrete` below. Only the budget-bound paths
+                // use the grants.
+                let grants = if self.discrete.is_some() || total > view.budget {
+                    self.distribute_power(&requests, view.budget, m)
+                } else {
+                    Vec::new()
+                };
                 match &self.discrete {
                     None if total <= view.budget => {
                         // Step 2 early exit: the unconstrained schedules
                         // already fit the budget and complete every job.
-                        plans = free_schedules.into_iter().map(Some).collect();
+                        for c in 0..m {
+                            // Keep rule — shared by both recompute modes,
+                            // so it is part of the decision procedure,
+                            // not a cache: a core that received no new
+                            // work and is still executing a budget-free
+                            // plan keeps it. Energy-OPT is
+                            // time-consistent along its own execution
+                            // (re-solving over the remaining demands
+                            // reproduces the tail of the running plan),
+                            // so a recompute could only re-derive what is
+                            // already installed.
+                            if self.free_streak[c] && extra[c].is_empty() && view.cores[c].busy {
+                                plans.push(None);
+                                continue;
+                            }
+                            self.free_streak[c] = true;
+                            if live_iter(c).next().is_none() {
+                                // No live work: Energy-OPT over nothing.
+                                plans.push(Some(CoreSchedule::default()));
+                                if inc {
+                                    self.memo[c] = CoreMemo {
+                                        sig: Vec::new(),
+                                        now_us,
+                                        key: Some(PlanKey::Free),
+                                        plan: CoreSchedule::default(),
+                                    };
+                                }
+                                continue;
+                            }
+                            let sig = sigs[c].get_or_insert_with(|| Self::signature(live_iter(c)));
+                            let memo = &mut self.memo[c];
+                            if inc && memo.key == Some(PlanKey::Free) && clean(memo, sig) {
+                                plans.push(Some(memo.plan.clone()));
+                                continue;
+                            }
+                            let plan = Self::free_schedule(view, &materialize(c));
+                            plans.push(Some(plan.clone()));
+                            if inc {
+                                *memo = CoreMemo {
+                                    sig: std::mem::take(sig),
+                                    now_us,
+                                    key: Some(PlanKey::Free),
+                                    plan,
+                                };
+                            }
+                        }
                     }
                     None => {
                         // Steps 3–4: distribute power, then Online-QE per
                         // core. The budget binds here, so the grant is
                         // spent eagerly by default (see `OnlineMode`).
-                        let grants = self.distribute_power(&requests, view.budget, m);
-                        for (ready, &grant) in per_core.iter().zip(&grants) {
-                            let out = online_qe_with_mode(now, ready, view.model, grant, self.mode);
+                        for (c, &grant) in grants.iter().enumerate() {
+                            self.free_streak[c] = false;
+                            if live_iter(c).next().is_none() || grant <= 0.0 {
+                                // Nothing live, or a zero grant (s* = 0):
+                                // Online-QE returns an empty plan and no
+                                // discards without looking at the jobs.
+                                plans.push(Some(CoreSchedule::default()));
+                                if inc {
+                                    let sig = sigs[c]
+                                        .get_or_insert_with(|| Self::signature(live_iter(c)));
+                                    self.memo[c] = CoreMemo {
+                                        sig: std::mem::take(sig),
+                                        now_us,
+                                        key: Some(PlanKey::Granted(grant.to_bits())),
+                                        plan: CoreSchedule::default(),
+                                    };
+                                }
+                                continue;
+                            }
+                            let key = PlanKey::Granted(grant.to_bits());
+                            let sig = sigs[c].get_or_insert_with(|| Self::signature(live_iter(c)));
+                            let memo = &mut self.memo[c];
+                            if inc && memo.key == Some(key) && clean(memo, sig) {
+                                // A reused plan had no discards: any
+                                // discard would have been settled by the
+                                // engine, changing the signature.
+                                plans.push(Some(memo.plan.clone()));
+                                continue;
+                            }
+                            let out = online_qe_with_mode(
+                                now,
+                                &materialize(c),
+                                view.model,
+                                grant,
+                                self.mode,
+                            );
                             discarded.extend(out.discarded);
-                            plans.push(Some(out.schedule));
+                            plans.push(Some(out.schedule.clone()));
+                            if inc {
+                                *memo = CoreMemo {
+                                    sig: std::mem::take(sig),
+                                    now_us,
+                                    key: Some(key),
+                                    plan: out.schedule,
+                                };
+                            }
                         }
                     }
                     Some(set) => {
                         // §V-F: always rectify the WF grants to discrete
                         // speeds, then Online-QE under the rectified power
-                        // with slice speeds snapped onto the ladder.
-                        let grants = self.distribute_power(&requests, view.budget, m);
+                        // with slice speeds snapped onto the ladder. The
+                        // per-core memo does not apply to the ladder path
+                        // (plans are recomputed in full).
+                        self.free_streak.fill(false);
                         let speeds = rectify_speeds(&grants, set, view.model, view.budget);
-                        for (ready, &cap) in per_core.iter().zip(&speeds) {
+                        for (c, &cap) in speeds.iter().enumerate() {
                             let grant = view.model.dynamic_power(cap);
-                            let out = online_qe_with_mode(now, ready, view.model, grant, self.mode);
+                            let out = online_qe_with_mode(
+                                now,
+                                &materialize(c),
+                                view.model,
+                                grant,
+                                self.mode,
+                            );
                             discarded.extend(out.discarded);
                             plans.push(Some(snap_plan_up(&out.schedule, set)));
                         }
@@ -591,5 +837,221 @@ mod tests {
         assert_eq!(DesPolicy::on_arch(ArchKind::NoDvfs).name(), "DES/No-DVFS");
         let set = crate::discrete::default_ladder(&MODEL);
         assert_eq!(DesPolicy::with_discrete(set).name(), "DES/C-DVFS/discrete");
+        assert_eq!(
+            DesPolicy::new().with_recompute(RecomputeMode::Full).name(),
+            "DES/C-DVFS/full-recompute"
+        );
+    }
+
+    #[test]
+    fn closed_form_probe_matches_energy_opt_initial_speed() {
+        // The probe request must equal the power at the YDS initial speed
+        // of the re-released job set — the quantity `budget_free_probe`
+        // used to extract from a full Energy-OPT solve.
+        use qes_singlecore::energy_opt::energy_opt;
+        let now = ms(40);
+        let cases: Vec<Vec<ReadyJob>> = vec![
+            vec![],
+            vec![rj(0, 0, 150, 50.0)],
+            vec![
+                rj(0, 0, 150, 50.0),
+                rj(1, 10, 90, 120.0),
+                rj(2, 0, 300, 7.5),
+            ],
+            vec![
+                ReadyJob {
+                    job: Job::new(3, ms(0), ms(200), 80.0).unwrap(),
+                    processed: 33.25,
+                },
+                rj(4, 0, 41, 10.0),
+                rj(5, 0, 500, 400.0),
+                rj(6, 0, 77, 3.0),
+            ],
+        ];
+        for ready in cases {
+            let live: Vec<ReadyJob> = ready
+                .iter()
+                .filter(|r| r.job.deadline > now && r.remaining() > 1e-9)
+                .copied()
+                .collect();
+            let queue: [ReadyJob; 0] = [];
+            let cores = [CoreView {
+                jobs: &live,
+                busy: false,
+            }];
+            let v = view(now, &queue, &cores, 40.0);
+            let closed = DesPolicy::probe_request(&v, live.iter().copied());
+            let jobs: Vec<Job> = live
+                .iter()
+                .map(|r| Job {
+                    release: now,
+                    demand: r.remaining(),
+                    ..r.job
+                })
+                .collect();
+            let yds = MODEL.dynamic_power(energy_opt(&JobSet::new_unchecked(jobs)).initial_speed());
+            assert!(
+                (closed - yds).abs() <= 1e-9 * yds.max(1.0),
+                "closed {closed} vs YDS {yds} for {} jobs",
+                live.len()
+            );
+        }
+    }
+
+    /// One differential step: `(now ms, waiting queue, per-core jobs,
+    /// budget)`.
+    type Step = (u64, Vec<ReadyJob>, Vec<Vec<ReadyJob>>, f64);
+
+    /// Drive a Full and an Incremental policy through the same trigger
+    /// sequence and require bitwise-equal decisions at every step.
+    fn assert_differential_equal(steps: &[Step]) {
+        let mut full = DesPolicy::new().with_recompute(RecomputeMode::Full);
+        let mut inc = DesPolicy::new().with_recompute(RecomputeMode::Incremental);
+        for (i, (now_ms, queue, core_jobs, budget)) in steps.iter().enumerate() {
+            let cores: Vec<CoreView<'_>> = core_jobs
+                .iter()
+                .map(|j| CoreView {
+                    jobs: j,
+                    busy: false,
+                })
+                .collect();
+            let v = view(ms(*now_ms), queue, &cores, *budget);
+            let df = full.on_trigger(&v);
+            let di = inc.on_trigger(&v);
+            assert_eq!(df.assignments, di.assignments, "step {i}");
+            assert_eq!(df.discarded, di.discarded, "step {i}");
+            assert_eq!(df.plans.len(), di.plans.len(), "step {i}");
+            for (c, (pf, pi)) in df.plans.iter().zip(&di.plans).enumerate() {
+                let sf = pf.as_ref().map(|p| p.slices());
+                let si = pi.as_ref().map(|p| p.slices());
+                assert_eq!(sf, si, "step {i} core {c} plans diverge");
+            }
+            assert_eq!(df.ambient_speeds, di.ambient_speeds, "step {i}");
+        }
+    }
+
+    #[test]
+    fn incremental_reuses_bitwise_identical_plans() {
+        let busy = |id, r, d, w, done| ReadyJob {
+            job: Job::new(id, ms(r), ms(d), w).unwrap(),
+            processed: done,
+        };
+        // A same-instant re-trigger (the Tier-A reuse case), an advance
+        // where one core's state moved and the other's did not, and a
+        // budget squeeze that engages water-filling with a starved core.
+        let steps: Vec<Step> = vec![
+            // t=0: deal two jobs across two cores (light: early exit).
+            (
+                0,
+                vec![rj(0, 0, 150, 60.0), rj(1, 0, 150, 30.0)],
+                vec![vec![], vec![]],
+                40.0,
+            ),
+            // t=0 again, same instant, jobs now on cores: reuse legal.
+            (
+                0,
+                vec![],
+                vec![vec![rj(0, 0, 150, 60.0)], vec![rj(1, 0, 150, 30.0)]],
+                40.0,
+            ),
+            // t=50: core 0 ran (sunk work moved), core 1 untouched.
+            (
+                50,
+                vec![rj(2, 50, 200, 100.0)],
+                vec![vec![busy(0, 0, 150, 60.0, 25.0)], vec![rj(1, 0, 150, 30.0)]],
+                40.0,
+            ),
+            // t=60: tiny budget forces WF; the heavy core starves the
+            // light one toward a zero/low grant.
+            (
+                60,
+                vec![],
+                vec![
+                    vec![busy(0, 0, 150, 60.0, 25.0), rj(3, 0, 160, 500.0)],
+                    vec![rj(1, 0, 150, 30.0)],
+                ],
+                6.0,
+            ),
+            // t=60 same instant re-trigger under WF: Tier-A reuse on the
+            // granted branch.
+            (
+                60,
+                vec![],
+                vec![
+                    vec![busy(0, 0, 150, 60.0, 25.0), rj(3, 0, 160, 500.0)],
+                    vec![rj(1, 0, 150, 30.0)],
+                ],
+                6.0,
+            ),
+        ];
+        assert_differential_equal(&steps);
+    }
+
+    #[test]
+    fn incremental_plan_survives_job_list_reordering() {
+        // The engine's `swap_remove` permutes per-core job lists without
+        // changing the set; the signature (and so the plan) must not
+        // care. `busy: false` keeps the keep-plan rule out of the way so
+        // the memo path itself is exercised.
+        let a = rj(0, 0, 150, 60.0);
+        let b = rj(1, 0, 180, 45.0);
+        let c = rj(2, 0, 210, 30.0);
+        let mut inc = DesPolicy::new();
+        let order1 = vec![a, b, c];
+        let cores1 = vec![CoreView {
+            jobs: &order1,
+            busy: false,
+        }];
+        let v1 = view(ms(10), &[], &cores1, 40.0);
+        let d1 = inc.on_trigger(&v1);
+        let order2 = vec![c, a, b];
+        let cores2 = vec![CoreView {
+            jobs: &order2,
+            busy: false,
+        }];
+        let v2 = view(ms(10), &[], &cores2, 40.0);
+        let d2 = inc.on_trigger(&v2);
+        assert!(d1.plans[0].is_some());
+        assert_eq!(
+            d1.plans[0].as_ref().map(|p| p.slices()),
+            d2.plans[0].as_ref().map(|p| p.slices()),
+            "reordering the job list must not invalidate or change the plan"
+        );
+    }
+
+    #[test]
+    fn busy_core_on_free_streak_keeps_its_plan() {
+        // Once a core is executing a budget-free plan and receives no
+        // new work, re-triggering must keep the installed plan (`None`)
+        // rather than recompute — in both recompute modes, since the
+        // keep rule is part of the decision procedure.
+        for mode in [RecomputeMode::Full, RecomputeMode::Incremental] {
+            let jobs = vec![rj(0, 0, 150, 60.0), rj(1, 0, 180, 45.0)];
+            let mut p = DesPolicy::new().with_recompute(mode);
+            let cores = vec![CoreView {
+                jobs: &jobs,
+                busy: true,
+            }];
+            let v1 = view(ms(10), &[], &cores, 40.0);
+            let d1 = p.on_trigger(&v1);
+            assert!(d1.plans[0].is_some(), "{mode:?}: first plan installed");
+            let v2 = view(ms(20), &[], &cores, 40.0);
+            let d2 = p.on_trigger(&v2);
+            assert!(
+                d2.plans[0].is_none(),
+                "{mode:?}: clean busy core must keep its plan"
+            );
+            // An idle core (plan ran out) must recompute even on a streak.
+            let idle = vec![CoreView {
+                jobs: &jobs,
+                busy: false,
+            }];
+            let v3 = view(ms(30), &[], &idle, 40.0);
+            let d3 = p.on_trigger(&v3);
+            assert!(
+                d3.plans[0].is_some(),
+                "{mode:?}: idle core must get a fresh plan"
+            );
+        }
     }
 }

@@ -103,6 +103,14 @@ pub struct TriggerRequest {
     pub counter: Option<usize>,
     /// Idle-core trigger: invoke when a core runs out of planned work.
     pub on_idle: bool,
+    /// Gate the idle-core trigger on waiting work: a core running out of
+    /// planned work (`PlanEnd`) only re-invokes the policy when at least
+    /// one live job is waiting in the queue. §IV-E's idle trigger exists
+    /// "to start assigning more jobs" — with nothing to assign, the
+    /// invocation can only re-derive the plans it already produced, so
+    /// grouped scheduling skips it. A job arriving while a core sits idle
+    /// still fires immediately (the arrival itself is the waiting work).
+    pub idle_requires_work: bool,
     /// Invoke on every job arrival (used by the one-job-at-a-time
     /// baselines, which otherwise would never see a job that arrives
     /// while cores sit idle).
@@ -111,22 +119,40 @@ pub struct TriggerRequest {
 
 impl TriggerRequest {
     /// The paper's DES defaults (§V-B): 500 ms quantum, counter of 8,
-    /// idle-core trigger on.
+    /// idle-core trigger on — grouped scheduling, so the idle trigger
+    /// only fires when there is waiting work to assign.
     pub fn paper_default() -> Self {
         TriggerRequest {
             quantum: Some(SimDuration::from_millis(500)),
             counter: Some(8),
             on_idle: true,
+            idle_requires_work: true,
             on_arrival: false,
         }
     }
 
-    /// Baseline schedulers: react to idle cores and arrivals only.
+    /// §IV-E "Immediate Scheduling": invoke on every arrival and on
+    /// every plan end, no batching. The strawman grouped scheduling is
+    /// measured against (and the differential suite's reference).
+    pub fn per_event() -> Self {
+        TriggerRequest {
+            quantum: None,
+            counter: None,
+            on_idle: true,
+            idle_requires_work: false,
+            on_arrival: true,
+        }
+    }
+
+    /// Baseline schedulers: react to idle cores and arrivals only. The
+    /// idle trigger stays ungated — the +WF baselines re-level power on
+    /// every plan end even with an empty queue.
     pub fn baseline() -> Self {
         TriggerRequest {
             quantum: None,
             counter: None,
             on_idle: true,
+            idle_requires_work: false,
             on_arrival: true,
         }
     }
@@ -178,10 +204,15 @@ mod tests {
         assert_eq!(d.quantum, Some(SimDuration::from_millis(500)));
         assert_eq!(d.counter, Some(8));
         assert!(d.on_idle);
+        assert!(d.idle_requires_work);
         assert!(!d.on_arrival);
         let b = TriggerRequest::baseline();
         assert!(b.on_idle && b.on_arrival);
+        assert!(!b.idle_requires_work);
         assert!(b.quantum.is_none() && b.counter.is_none());
+        let p = TriggerRequest::per_event();
+        assert!(p.on_idle && p.on_arrival && !p.idle_requires_work);
+        assert!(p.quantum.is_none() && p.counter.is_none());
     }
 
     #[test]

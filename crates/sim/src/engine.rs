@@ -280,7 +280,14 @@ impl<'a> Engine<'a> {
                     let core = core as usize;
                     if self.cores[core].version == version {
                         self.advance_core(core, t);
-                        if trig.on_idle {
+                        // Grouped scheduling (§IV-E): with
+                        // `idle_requires_work` the idle trigger only
+                        // fires when there are live jobs to assign —
+                        // deadline events at this instant ran first
+                        // (priority 0 < 2), so every surviving queue
+                        // slot is genuinely assignable.
+                        let has_work = self.queue.len() > self.queue_holes;
+                        if trig.on_idle && (has_work || !trig.idle_requires_work) {
                             self.invoke(policy);
                         }
                     }
@@ -713,6 +720,7 @@ mod tests {
                     quantum: None,
                     counter: None,
                     on_idle: false,
+                    idle_requires_work: false,
                     on_arrival: false,
                 }
             }
@@ -806,6 +814,7 @@ mod tests {
                 quantum: None,
                 counter: None,
                 on_idle: false,
+                idle_requires_work: false,
                 on_arrival: true,
             }
         }
@@ -865,6 +874,7 @@ mod tests {
                     quantum: None,
                     counter: None,
                     on_idle: true,
+                    idle_requires_work: false,
                     on_arrival: true,
                 }
             }
@@ -917,6 +927,7 @@ mod tests {
                     quantum: Some(SimDuration::from_millis(100)),
                     counter: None,
                     on_idle: false,
+                    idle_requires_work: false,
                     on_arrival: false,
                 }
             }

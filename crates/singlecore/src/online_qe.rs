@@ -141,6 +141,12 @@ pub fn online_qe_with_mode(
         .filter(|r| r.job.deadline > now && r.remaining() > 1e-9)
         .copied()
         .collect();
+    // Canonical order. The caller's slice order is arbitrary (the
+    // engine's per-core lists are permuted by `swap_remove`), and the
+    // float summations downstream are order-sensitive; sorting makes the
+    // outcome a function of the job *set* — the invariant DES's
+    // incremental cache keys on (and `prop_order_insensitive` checks).
+    active.sort_unstable_by_key(|r| (r.job.deadline, r.job.id));
     let mut discarded = Vec::new();
 
     // Iterate the §V-D discard loop for non-partial jobs.
@@ -278,6 +284,7 @@ pub fn myopic_volumes(now: SimTime, active: &[ReadyJob], s_max: f64) -> HashMap<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use qes_core::power::PolynomialPower;
     use qes_core::schedule::Schedule;
 
@@ -426,6 +433,59 @@ mod tests {
         let out = online_qe(ms(0), &ready, &MODEL, 0.0);
         assert!(out.schedule.is_empty());
         assert!((out.planned(JobId(0)) - 10.0).abs() < 1e-9);
+    }
+
+    /// Deterministic Fisher–Yates from a seed (the proptest shim has no
+    /// shuffle strategy; an LCG is plenty for permutation coverage).
+    fn shuffled(mut v: Vec<ReadyJob>, mut seed: u64) -> Vec<ReadyJob> {
+        for i in (1..v.len()).rev() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (seed >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_order_insensitive(
+            raw in proptest::collection::vec(
+                // (deadline ms beyond now, demand, processed fraction)
+                (1u64..400, 1.0f64..300.0, 0.0f64..1.0),
+                1..8,
+            ),
+            budget in 0.5f64..40.0,
+            eager in proptest::bool::ANY,
+            seed in 1u64..u64::MAX,
+        ) {
+            let now = ms(50);
+            let ready: Vec<ReadyJob> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(d, w, frac))| ReadyJob {
+                    job: Job::new(i as u32, ms(0), now + qes_core::time::SimDuration::from_millis(d), w)
+                        .unwrap(),
+                    processed: w * frac,
+                })
+                .collect();
+            let mode = if eager { OnlineMode::Eager } else { OnlineMode::Efficient };
+            let a = online_qe_with_mode(now, &ready, &MODEL, budget, mode);
+            let b = online_qe_with_mode(now, &shuffled(ready.clone(), seed), &MODEL, budget, mode);
+            prop_assert_eq!(a.schedule.slices(), b.schedule.slices());
+            prop_assert_eq!(a.discarded, b.discarded);
+            prop_assert_eq!(a.max_speed.to_bits(), b.max_speed.to_bits());
+            for r in &ready {
+                prop_assert_eq!(
+                    a.planned(r.job.id).to_bits(),
+                    b.planned(r.job.id).to_bits(),
+                    "planned volume diverged for {:?}", r.job.id
+                );
+            }
+        }
     }
 
     #[test]

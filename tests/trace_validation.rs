@@ -2,9 +2,10 @@
 //! trace checker (`qes_sim::validate_trace`): windows, non-overlap,
 //! non-migration, demand caps, and the instantaneous power budget.
 
-use qes::core::PolynomialPower;
+use qes::core::{ExpQuality, PolynomialPower, SimDuration, SimTime};
 use qes::experiments::{run_policy_traced, ExperimentConfig, PolicyKind};
-use qes::sim::validate_trace;
+use qes::multicore::DesPolicy;
+use qes::sim::{validate_trace, SimConfig, Simulator};
 
 const ALL_POLICIES: [PolicyKind; 10] = [
     PolicyKind::Des,
@@ -66,5 +67,79 @@ fn des_peak_power_approaches_budget_under_overload() {
         "peak {} should approach the {} W budget",
         summary.peak_power,
         cfg.budget
+    );
+}
+
+/// Golden ⟨quality, energy⟩ for `tests/data/golden_websearch.csv` under
+/// DES/C-DVFS at 8 cores / 160 W (overloaded: exercises WF squeezing,
+/// Online-QE discards, and grouped triggers). Captured from a blessed
+/// run; any drift means the scheduler's numerical behaviour changed. To
+/// re-bless after an *intentional* change, run
+/// `cargo test golden -- --nocapture` and copy the printed actuals.
+const GOLDEN_QUALITY: f64 = 1.047_933_375_054_220_9e2;
+const GOLDEN_MAX_QUALITY: f64 = 1.911_682_218_481_366_5e2;
+const GOLDEN_ENERGY: f64 = 4.708_594_736_660_488_7e2;
+const GOLDEN_COUNTS: (usize, usize, usize, usize, u64) = (163, 151, 110, 159, 149);
+
+#[test]
+fn golden_websearch_trace_regression() {
+    let csv = include_str!("data/golden_websearch.csv");
+    let jobs = qes::workload::from_csv(csv).expect("golden trace parses");
+    assert_eq!(jobs.len(), 424);
+
+    let model = PolynomialPower::PAPER_SIM;
+    let quality = ExpQuality::new(0.003);
+    let cfg = SimConfig {
+        num_cores: 8,
+        budget: 160.0,
+        model: &model,
+        quality: &quality,
+        end: SimTime::from_secs(5),
+        record_trace: false,
+        overhead: SimDuration::ZERO,
+    };
+    let mut policy = DesPolicy::new();
+    let (r, _) = Simulator::run(&cfg, &mut policy, &jobs);
+
+    println!(
+        "golden actuals: quality {:.17e} max {:.17e} energy {:.17e} counts ({}, {}, {}, {}, {})",
+        r.total_quality,
+        r.max_quality,
+        r.energy_joules,
+        r.jobs_satisfied,
+        r.jobs_partial,
+        r.jobs_zero,
+        r.jobs_discarded,
+        r.invocations
+    );
+    let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+    assert!(
+        rel(r.total_quality, GOLDEN_QUALITY) < 1e-6,
+        "quality drifted: {} vs golden {}",
+        r.total_quality,
+        GOLDEN_QUALITY
+    );
+    assert!(
+        rel(r.max_quality, GOLDEN_MAX_QUALITY) < 1e-6,
+        "max quality drifted: {} vs golden {}",
+        r.max_quality,
+        GOLDEN_MAX_QUALITY
+    );
+    assert!(
+        rel(r.energy_joules, GOLDEN_ENERGY) < 1e-6,
+        "energy drifted: {} vs golden {}",
+        r.energy_joules,
+        GOLDEN_ENERGY
+    );
+    assert_eq!(
+        (
+            r.jobs_satisfied,
+            r.jobs_partial,
+            r.jobs_zero,
+            r.jobs_discarded,
+            r.invocations
+        ),
+        GOLDEN_COUNTS,
+        "job outcome counters drifted"
     );
 }

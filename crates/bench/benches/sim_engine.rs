@@ -36,23 +36,34 @@ const QUALITY: ExpQuality = ExpQuality::PAPER_DEFAULT;
 /// Offered load as a fraction of an `m`-core 2 GHz server's capacity;
 /// ~90 % keeps every core busy without letting deadlines expire en masse.
 const UTILIZATION: f64 = 0.9;
+/// Overloaded-regime utilization: per-core demand far exceeds what the
+/// 40 W/core budget can serve, so every DES invocation takes the
+/// water-filling + budget-bounded Online-QE branch (the paper's Fig. 3/4
+/// stress regime, and the path the incremental-QE solver targets).
+const OVERLOAD_UTILIZATION: f64 = 1.8;
 const MEAN_DEMAND: f64 = 192.0;
 
-fn arrival_rate(cores: usize) -> f64 {
-    UTILIZATION * cores as f64 * 2.0 * UNITS_PER_GHZ_SECOND / MEAN_DEMAND
+fn arrival_rate_at(utilization: f64, cores: usize) -> f64 {
+    utilization * cores as f64 * 2.0 * UNITS_PER_GHZ_SECOND / MEAN_DEMAND
 }
 
 struct Sample {
     policy: &'static str,
     jobs: usize,
     cores: usize,
+    /// Extra key segment naming a non-default regime (e.g. "overload").
+    variant: Option<&'static str>,
     wall_s: f64,
     jobs_per_sec: f64,
 }
 
 impl Sample {
     fn key(&self) -> String {
-        format!("{}/{}_jobs/{}_cores", self.policy, self.jobs, self.cores)
+        let base = format!("{}/{}_jobs/{}_cores", self.policy, self.jobs, self.cores);
+        match self.variant {
+            Some(v) => format!("{base}/{v}"),
+            None => base,
+        }
     }
 }
 
@@ -78,7 +89,21 @@ fn make_policy(name: &str) -> Box<dyn SchedulingPolicy> {
 /// Run one configuration to completion, returning the median wall time of
 /// `reps` runs.
 fn run_config(policy: &'static str, jobs: usize, cores: usize, reps: usize) -> Sample {
-    let trace = WebSearchWorkload::new(arrival_rate(cores))
+    run_config_at(policy, jobs, cores, reps, None)
+}
+
+fn run_config_at(
+    policy: &'static str,
+    jobs: usize,
+    cores: usize,
+    reps: usize,
+    variant: Option<&'static str>,
+) -> Sample {
+    let utilization = match variant {
+        Some("overload") => OVERLOAD_UTILIZATION,
+        _ => UTILIZATION,
+    };
+    let trace = WebSearchWorkload::new(arrival_rate_at(utilization, cores))
         .generate_exact(jobs, 42)
         .expect("bench workload generates");
     let end = trace.last_deadline().expect("non-empty trace");
@@ -107,6 +132,7 @@ fn run_config(policy: &'static str, jobs: usize, cores: usize, reps: usize) -> S
         policy,
         jobs,
         cores,
+        variant,
         wall_s,
         jobs_per_sec: jobs as f64 / wall_s,
     }
@@ -142,23 +168,27 @@ fn bench_sim_engine(c: &mut Criterion) {
     }
 
     let full = std::env::var("QES_BENCH_FULL").is_ok_and(|v| v == "1");
-    let mut grid: Vec<(&'static str, usize, usize)> = vec![
-        ("fcfs", 100_000, 4),
-        ("fcfs", 100_000, 8),
-        ("fcfs", 100_000, 16),
-        ("fcfs", 100_000, 32),
-        ("des", 100_000, 4),
-        ("des", 100_000, 8),
-        ("des", 100_000, 16),
-        ("des", 100_000, 32),
+    let mut grid: Vec<(&'static str, usize, usize, Option<&'static str>)> = vec![
+        ("fcfs", 100_000, 4, None),
+        ("fcfs", 100_000, 8, None),
+        ("fcfs", 100_000, 16, None),
+        ("fcfs", 100_000, 32, None),
+        ("des", 100_000, 4, None),
+        ("des", 100_000, 8, None),
+        ("des", 100_000, 16, None),
+        ("des", 100_000, 32, None),
         // Ablation at the headline grid point: per-event/full-recompute
         // (the old behaviour) vs grouped/full vs grouped/incremental.
-        ("des-pe", 100_000, 8),
-        ("des-full", 100_000, 8),
+        ("des-pe", 100_000, 8, None),
+        ("des-full", 100_000, 8, None),
+        // Overloaded regime: the budget binds on every invocation, so the
+        // run time is dominated by the budget-bounded Online-QE solves.
+        ("des", 100_000, 8, Some("overload")),
+        ("des-full", 100_000, 8, Some("overload")),
     ];
     if full {
-        grid.push(("fcfs", 1_000_000, 8));
-        grid.push(("des", 1_000_000, 8));
+        grid.push(("fcfs", 1_000_000, 8, None));
+        grid.push(("des", 1_000_000, 8, None));
     }
 
     let baseline = std::env::var("QES_BENCH_BASELINE")
@@ -166,9 +196,9 @@ fn bench_sim_engine(c: &mut Criterion) {
         .and_then(|p| read_baseline(&p));
 
     let mut samples = Vec::new();
-    for (policy, jobs, cores) in grid {
+    for (policy, jobs, cores, variant) in grid {
         let reps = if jobs >= 1_000_000 { 1 } else { 3 };
-        let s = run_config(policy, jobs, cores, reps);
+        let s = run_config_at(policy, jobs, cores, reps, variant);
         let speedup = baseline
             .as_deref()
             .and_then(|b| baseline_rate(b, &s.key()))

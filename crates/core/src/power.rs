@@ -170,7 +170,7 @@ impl DiscreteSpeedSet {
                 });
             }
         }
-        levels.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        levels.sort_by(|x, y| x.0.total_cmp(&y.0));
         levels.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-12);
         Ok(DiscreteSpeedSet {
             levels,
@@ -234,7 +234,7 @@ impl DiscreteSpeedSet {
         }
         self.levels
             .iter()
-            .min_by(|x, y| (x.0 - s).abs().partial_cmp(&(y.0 - s).abs()).unwrap())
+            .min_by(|x, y| (x.0 - s).abs().total_cmp(&(y.0 - s).abs()))
             .map(|&(_, p)| p)
             .unwrap_or(0.0)
     }

@@ -57,7 +57,7 @@ pub fn sweep(
 /// Points of one policy, sorted by rate.
 pub fn series(points: &[SweepPoint], kind: PolicyKind) -> Vec<&SweepPoint> {
     let mut v: Vec<&SweepPoint> = points.iter().filter(|p| p.kind == kind).collect();
-    v.sort_by(|a, b| a.rate.partial_cmp(&b.rate).unwrap());
+    v.sort_by(|a, b| a.rate.total_cmp(&b.rate));
     v
 }
 

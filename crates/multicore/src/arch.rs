@@ -85,7 +85,7 @@ pub fn fixed_speed_plan(
                 let shortfall = r.job.demand - p;
                 (!r.job.partial && shortfall > 1e-6).then_some((r.job.id, shortfall))
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         match worst {
             Some((id, _)) => {
                 discarded.push(id);

@@ -80,15 +80,13 @@ impl BaselinePolicy {
             BaselineOrder::Ljf => queue.sort_by(|a, b| {
                 b.job
                     .demand
-                    .partial_cmp(&a.job.demand)
-                    .unwrap()
+                    .total_cmp(&a.job.demand)
                     .then(a.job.id.cmp(&b.job.id))
             }),
             BaselineOrder::Sjf => queue.sort_by(|a, b| {
                 a.job
                     .demand
-                    .partial_cmp(&b.job.demand)
-                    .unwrap()
+                    .total_cmp(&b.job.demand)
                     .then(a.job.id.cmp(&b.job.id))
             }),
         }

@@ -25,7 +25,7 @@ use qes_core::job::{Job, JobSet};
 use qes_core::power::DiscreteSpeedSet;
 use qes_core::schedule::CoreSchedule;
 use qes_singlecore::energy_opt::energy_opt;
-use qes_singlecore::online_qe::{online_qe_with_mode, OnlineMode, ReadyJob};
+use qes_singlecore::online_qe::{OnlineMode, QeSolver, ReadyJob};
 
 use crate::arch::{fixed_speed_plan, ArchKind};
 use crate::crr::CrrDistributor;
@@ -61,22 +61,37 @@ pub enum PowerSharing {
 
 /// How DES recomputes per-core schedules across invocations.
 ///
-/// The two modes are **bit-identical by construction** (asserted by the
-/// differential suite, `tests/differential.rs`): both share the same
+/// All modes are **bit-identical by construction** (asserted by the
+/// differential suite, `tests/differential.rs`): they share the same
 /// closed-form power probe and the same plan-construction functions, and
-/// `Incremental` only skips a recomputation when its inputs — invocation
-/// instant, live job set with sunk-work frontier, and grant — are exactly
-/// the inputs the cached result was computed from, so the recomputation
-/// is a pure function that would return the cached value.
+/// the caching modes only skip a recomputation when its inputs —
+/// invocation instant, live job set with sunk-work frontier, and grant —
+/// are exactly the inputs the cached result was computed from, so the
+/// recomputation is a pure function that would return the cached value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum RecomputeMode {
     /// Rebuild every core's plan from scratch on every invocation — the
     /// reference the differential suite compares against.
     Full,
-    /// Reuse a core's cached `CoreSchedule` when unchanged, and re-level
+    /// Reuse a core's cached `CoreSchedule` when unchanged (keyed by a
+    /// canonical job-set signature rebuilt per invocation), and re-level
     /// water-filling only when the request vector changes.
-    #[default]
     Incremental,
+    /// `Incremental`, plus a per-core deadline-sorted ready index with
+    /// resumable prefix demand sums: the power probe reads the stored
+    /// prefix sums instead of re-sorting, cache cleanliness is a dirty
+    /// flag maintained by the index diff instead of a signature compare,
+    /// and the budget-bounded step feeds the index straight into a
+    /// per-core warm [`QeSolver`] (no per-invocation materialization).
+    #[default]
+    IncrementalQe,
+}
+
+impl RecomputeMode {
+    /// Whether this mode caches plans and water-filling grants.
+    fn caches(self) -> bool {
+        !matches!(self, RecomputeMode::Full)
+    }
 }
 
 /// What produced a cached plan: the step-2 early exit (budget-free
@@ -111,6 +126,61 @@ struct CoreMemo {
     plan: CoreSchedule,
 }
 
+/// Per-core ready index for [`RecomputeMode::IncrementalQe`]: the live
+/// job set in canonical (deadline, id) order with left-to-right prefix
+/// sums of remaining demand, updated by suffix diff each invocation.
+///
+/// The prefix sums resume from the first diverging position, which is
+/// bit-identical to re-summing from the left — so everything derived
+/// from them (the power probe, the Online-QE solve) matches a
+/// from-scratch computation exactly.
+#[derive(Clone, Debug, Default)]
+struct CoreQe {
+    /// Live jobs, (deadline, id)-sorted — exactly the materialized list
+    /// the other recompute modes hand to Online-QE.
+    jobs: Vec<ReadyJob>,
+    /// `cum[i]` = Σ remaining demand of `jobs[..=i]`, summed left to
+    /// right.
+    cum: Vec<f64>,
+    /// Set when the index changed since the core's memo was last stored;
+    /// replaces the signature compare of [`RecomputeMode::Incremental`].
+    dirty: bool,
+    /// Warm Online-QE solver (scratch reuse only — bitwise inert).
+    solver: QeSolver,
+}
+
+impl CoreQe {
+    /// Rebuild the index from this invocation's live set, resuming the
+    /// prefix sums after the longest unchanged prefix.
+    fn update(&mut self, live: impl Iterator<Item = ReadyJob>, scratch: &mut Vec<ReadyJob>) {
+        scratch.clear();
+        scratch.extend(live);
+        scratch.sort_unstable_by_key(|r| (r.job.deadline, r.job.id));
+        let same = |a: &ReadyJob, b: &ReadyJob| {
+            a.job.id == b.job.id
+                && a.job.deadline == b.job.deadline
+                && a.job.demand.to_bits() == b.job.demand.to_bits()
+                && a.processed.to_bits() == b.processed.to_bits()
+        };
+        let mut p = 0;
+        while p < self.jobs.len() && p < scratch.len() && same(&self.jobs[p], &scratch[p]) {
+            p += 1;
+        }
+        if p == self.jobs.len() && p == scratch.len() {
+            return;
+        }
+        self.dirty = true;
+        self.jobs.truncate(p);
+        self.jobs.extend_from_slice(&scratch[p..]);
+        self.cum.truncate(p);
+        let mut acc = if p == 0 { 0.0 } else { self.cum[p - 1] };
+        for r in &self.jobs[p..] {
+            acc += r.remaining();
+            self.cum.push(acc);
+        }
+    }
+}
+
 /// The DES scheduling policy.
 #[derive(Clone, Debug)]
 pub struct DesPolicy {
@@ -127,9 +197,16 @@ pub struct DesPolicy {
     /// Per core: every plan installed since the core's last
     /// budget-bounded (or discrete) recomputation came from the step-2
     /// early exit. Part of the *decision procedure* (maintained
-    /// identically by both [`RecomputeMode`]s), not a cache: it licenses
+    /// identically by every [`RecomputeMode`]), not a cache: it licenses
     /// the keep-plan rule in `on_trigger`.
     free_streak: Vec<bool>,
+    /// Per-core ready indexes ([`RecomputeMode::IncrementalQe`] only).
+    core_qe: Vec<CoreQe>,
+    /// Shared warm solver for the non-indexed recompute modes and the
+    /// discrete ladder path. Purely an allocation amortizer.
+    qe_scratch: QeSolver,
+    /// Sort buffer for [`CoreQe::update`].
+    sort_scratch: Vec<ReadyJob>,
 }
 
 impl DesPolicy {
@@ -152,6 +229,9 @@ impl DesPolicy {
             memo: Vec::new(),
             wf_cache: WaterFillingCache::new(),
             free_streak: Vec::new(),
+            core_qe: Vec::new(),
+            qe_scratch: QeSolver::default(),
+            sort_scratch: Vec::new(),
         }
     }
 
@@ -189,7 +269,7 @@ impl DesPolicy {
     }
 
     /// Choose the recomputation strategy (default:
-    /// [`RecomputeMode::Incremental`]).
+    /// [`RecomputeMode::IncrementalQe`]).
     pub fn with_recompute(mut self, r: RecomputeMode) -> Self {
         self.recompute = r;
         self
@@ -206,7 +286,7 @@ impl DesPolicy {
     fn distribute_power(&mut self, requests: &[f64], budget: f64, m: usize) -> Vec<f64> {
         match self.power_sharing {
             PowerSharing::WaterFilling => {
-                if self.recompute == RecomputeMode::Incremental {
+                if self.recompute.caches() {
                     self.wf_cache.grants(requests, budget).to_vec()
                 } else {
                     water_filling(requests, budget)
@@ -235,6 +315,20 @@ impl DesPolicy {
         let mut speed: f64 = 0.0;
         for &(d_us, _, w) in &dw {
             cum += w;
+            speed = speed.max(cum * 1000.0 / (d_us - now_us) as f64);
+        }
+        view.model.dynamic_power(speed)
+    }
+
+    /// [`Self::probe_request`] read off a core's ready index: the jobs
+    /// are already (deadline, id)-sorted and `cum` holds exactly the
+    /// left-to-right prefix sums the probe would compute, so the result
+    /// is bit-identical — only the sort and the summation are skipped.
+    fn probe_from_index(view: &SystemView<'_>, cq: &CoreQe) -> f64 {
+        let now_us = view.now.as_micros();
+        let mut speed: f64 = 0.0;
+        for (r, &cum) in cq.jobs.iter().zip(&cq.cum) {
+            let d_us = r.job.deadline.as_micros();
             speed = speed.max(cum * 1000.0 / (d_us - now_us) as f64);
         }
         view.model.dynamic_power(speed)
@@ -296,8 +390,10 @@ impl SchedulingPolicy for DesPolicy {
         if self.mode == OnlineMode::Efficient {
             n.push_str("/efficient");
         }
-        if self.recompute == RecomputeMode::Full {
-            n.push_str("/full-recompute");
+        match self.recompute {
+            RecomputeMode::Full => n.push_str("/full-recompute"),
+            RecomputeMode::Incremental => n.push_str("/incremental"),
+            RecomputeMode::IncrementalQe => {}
         }
         n
     }
@@ -374,22 +470,42 @@ impl SchedulingPolicy for DesPolicy {
                 ambient = vec![s_shared; m];
             }
             ArchKind::CDvfs => {
-                let inc = self.recompute == RecomputeMode::Incremental;
+                let inc = self.recompute.caches();
+                let iqe = self.recompute == RecomputeMode::IncrementalQe;
                 if self.memo.len() != m {
                     self.memo = vec![CoreMemo::default(); m];
                 }
                 if self.free_streak.len() != m {
                     self.free_streak = vec![false; m];
                 }
+                if iqe {
+                    if self.core_qe.len() != m {
+                        self.core_qe = std::iter::repeat_with(CoreQe::default).take(m).collect();
+                    }
+                    // Refresh every core's ready index up front: the
+                    // probe, the cleanliness check, and the solves below
+                    // all read it.
+                    for c in 0..m {
+                        self.core_qe[c].update(live_iter(c), &mut self.sort_scratch);
+                    }
+                }
                 let now_us = now.as_micros();
                 // Requests depend on `now`, so they are recomputed every
-                // invocation — but via the closed form, not a YDS solve.
-                let requests: Vec<f64> = (0..m)
-                    .map(|c| Self::probe_request(view, live_iter(c)))
-                    .collect();
+                // invocation — but via the closed form, not a YDS solve,
+                // and off the stored prefix sums when the index is on.
+                let requests: Vec<f64> = if iqe {
+                    (0..m)
+                        .map(|c| Self::probe_from_index(view, &self.core_qe[c]))
+                        .collect()
+                } else {
+                    (0..m)
+                        .map(|c| Self::probe_request(view, live_iter(c)))
+                        .collect()
+                };
                 let total: f64 = requests.iter().sum();
                 // Canonical signatures, built lazily: cores resolved by
                 // the keep rule or the empty check never pay for one.
+                // `IncrementalQe` replaces them with the index dirty flag.
                 let mut sigs: Vec<Option<Vec<Sig>>> = vec![None; m];
                 // A cached plan is reusable only if it was computed at
                 // this same instant from this same live set (bitwise);
@@ -409,7 +525,7 @@ impl SchedulingPolicy for DesPolicy {
                         // Step 2 early exit: the unconstrained schedules
                         // already fit the budget and complete every job.
                         for c in 0..m {
-                            // Keep rule — shared by both recompute modes,
+                            // Keep rule — shared by every recompute mode,
                             // so it is part of the decision procedure,
                             // not a cache: a core that received no new
                             // work and is still executing a budget-free
@@ -424,7 +540,12 @@ impl SchedulingPolicy for DesPolicy {
                                 continue;
                             }
                             self.free_streak[c] = true;
-                            if live_iter(c).next().is_none() {
+                            let empty = if iqe {
+                                self.core_qe[c].jobs.is_empty()
+                            } else {
+                                live_iter(c).next().is_none()
+                            };
+                            if empty {
                                 // No live work: Energy-OPT over nothing.
                                 plans.push(Some(CoreSchedule::default()));
                                 if inc {
@@ -434,24 +555,39 @@ impl SchedulingPolicy for DesPolicy {
                                         key: Some(PlanKey::Free),
                                         plan: CoreSchedule::default(),
                                     };
+                                    if iqe {
+                                        self.core_qe[c].dirty = false;
+                                    }
                                 }
                                 continue;
                             }
-                            let sig = sigs[c].get_or_insert_with(|| Self::signature(live_iter(c)));
-                            let memo = &mut self.memo[c];
-                            if inc && memo.key == Some(PlanKey::Free) && clean(memo, sig) {
-                                plans.push(Some(memo.plan.clone()));
+                            let reusable = if iqe {
+                                !self.core_qe[c].dirty && self.memo[c].now_us == now_us
+                            } else {
+                                let sig =
+                                    sigs[c].get_or_insert_with(|| Self::signature(live_iter(c)));
+                                clean(&self.memo[c], sig)
+                            };
+                            if inc && self.memo[c].key == Some(PlanKey::Free) && reusable {
+                                plans.push(Some(self.memo[c].plan.clone()));
                                 continue;
                             }
-                            let plan = Self::free_schedule(view, &materialize(c));
+                            let plan = if iqe {
+                                Self::free_schedule(view, &self.core_qe[c].jobs)
+                            } else {
+                                Self::free_schedule(view, &materialize(c))
+                            };
                             plans.push(Some(plan.clone()));
                             if inc {
-                                *memo = CoreMemo {
-                                    sig: std::mem::take(sig),
+                                self.memo[c] = CoreMemo {
+                                    sig: sigs[c].take().unwrap_or_default(),
                                     now_us,
                                     key: Some(PlanKey::Free),
                                     plan,
                                 };
+                                if iqe {
+                                    self.core_qe[c].dirty = false;
+                                }
                             }
                         }
                     }
@@ -461,16 +597,27 @@ impl SchedulingPolicy for DesPolicy {
                         // spent eagerly by default (see `OnlineMode`).
                         for (c, &grant) in grants.iter().enumerate() {
                             self.free_streak[c] = false;
-                            if live_iter(c).next().is_none() || grant <= 0.0 {
+                            let empty = if iqe {
+                                self.core_qe[c].jobs.is_empty()
+                            } else {
+                                live_iter(c).next().is_none()
+                            };
+                            if empty || grant <= 0.0 {
                                 // Nothing live, or a zero grant (s* = 0):
                                 // Online-QE returns an empty plan and no
                                 // discards without looking at the jobs.
                                 plans.push(Some(CoreSchedule::default()));
                                 if inc {
-                                    let sig = sigs[c]
-                                        .get_or_insert_with(|| Self::signature(live_iter(c)));
+                                    let sig = if iqe {
+                                        self.core_qe[c].dirty = false;
+                                        Vec::new()
+                                    } else {
+                                        sigs[c]
+                                            .get_or_insert_with(|| Self::signature(live_iter(c)))
+                                            .clone()
+                                    };
                                     self.memo[c] = CoreMemo {
-                                        sig: std::mem::take(sig),
+                                        sig,
                                         now_us,
                                         key: Some(PlanKey::Granted(grant.to_bits())),
                                         plan: CoreSchedule::default(),
@@ -479,31 +626,44 @@ impl SchedulingPolicy for DesPolicy {
                                 continue;
                             }
                             let key = PlanKey::Granted(grant.to_bits());
-                            let sig = sigs[c].get_or_insert_with(|| Self::signature(live_iter(c)));
-                            let memo = &mut self.memo[c];
-                            if inc && memo.key == Some(key) && clean(memo, sig) {
+                            let reusable = if iqe {
+                                !self.core_qe[c].dirty && self.memo[c].now_us == now_us
+                            } else {
+                                let sig =
+                                    sigs[c].get_or_insert_with(|| Self::signature(live_iter(c)));
+                                clean(&self.memo[c], sig)
+                            };
+                            if inc && self.memo[c].key == Some(key) && reusable {
                                 // A reused plan had no discards: any
                                 // discard would have been settled by the
-                                // engine, changing the signature.
-                                plans.push(Some(memo.plan.clone()));
+                                // engine, changing the live set.
+                                plans.push(Some(self.memo[c].plan.clone()));
                                 continue;
                             }
-                            let out = online_qe_with_mode(
-                                now,
-                                &materialize(c),
-                                view.model,
-                                grant,
-                                self.mode,
-                            );
+                            let out = if iqe {
+                                let CoreQe { jobs, solver, .. } = &mut self.core_qe[c];
+                                solver.solve(now, jobs, view.model, grant, self.mode)
+                            } else {
+                                self.qe_scratch.solve(
+                                    now,
+                                    &materialize(c),
+                                    view.model,
+                                    grant,
+                                    self.mode,
+                                )
+                            };
                             discarded.extend(out.discarded);
                             plans.push(Some(out.schedule.clone()));
                             if inc {
-                                *memo = CoreMemo {
-                                    sig: std::mem::take(sig),
+                                self.memo[c] = CoreMemo {
+                                    sig: sigs[c].take().unwrap_or_default(),
                                     now_us,
                                     key: Some(key),
                                     plan: out.schedule,
                                 };
+                                if iqe {
+                                    self.core_qe[c].dirty = false;
+                                }
                             }
                         }
                     }
@@ -517,7 +677,7 @@ impl SchedulingPolicy for DesPolicy {
                         let speeds = rectify_speeds(&grants, set, view.model, view.budget);
                         for (c, &cap) in speeds.iter().enumerate() {
                             let grant = view.model.dynamic_power(cap);
-                            let out = online_qe_with_mode(
+                            let out = self.qe_scratch.solve(
                                 now,
                                 &materialize(c),
                                 view.model,
@@ -841,6 +1001,19 @@ mod tests {
             DesPolicy::new().with_recompute(RecomputeMode::Full).name(),
             "DES/C-DVFS/full-recompute"
         );
+        assert_eq!(
+            DesPolicy::new()
+                .with_recompute(RecomputeMode::Incremental)
+                .name(),
+            "DES/C-DVFS/incremental"
+        );
+        // The default is IncrementalQe, which carries no suffix.
+        assert_eq!(
+            DesPolicy::new()
+                .with_recompute(RecomputeMode::IncrementalQe)
+                .name(),
+            "DES/C-DVFS"
+        );
     }
 
     #[test]
@@ -902,31 +1075,33 @@ mod tests {
     /// budget)`.
     type Step = (u64, Vec<ReadyJob>, Vec<Vec<ReadyJob>>, f64);
 
-    /// Drive a Full and an Incremental policy through the same trigger
+    /// Drive a Full policy and each caching mode through the same trigger
     /// sequence and require bitwise-equal decisions at every step.
     fn assert_differential_equal(steps: &[Step]) {
-        let mut full = DesPolicy::new().with_recompute(RecomputeMode::Full);
-        let mut inc = DesPolicy::new().with_recompute(RecomputeMode::Incremental);
-        for (i, (now_ms, queue, core_jobs, budget)) in steps.iter().enumerate() {
-            let cores: Vec<CoreView<'_>> = core_jobs
-                .iter()
-                .map(|j| CoreView {
-                    jobs: j,
-                    busy: false,
-                })
-                .collect();
-            let v = view(ms(*now_ms), queue, &cores, *budget);
-            let df = full.on_trigger(&v);
-            let di = inc.on_trigger(&v);
-            assert_eq!(df.assignments, di.assignments, "step {i}");
-            assert_eq!(df.discarded, di.discarded, "step {i}");
-            assert_eq!(df.plans.len(), di.plans.len(), "step {i}");
-            for (c, (pf, pi)) in df.plans.iter().zip(&di.plans).enumerate() {
-                let sf = pf.as_ref().map(|p| p.slices());
-                let si = pi.as_ref().map(|p| p.slices());
-                assert_eq!(sf, si, "step {i} core {c} plans diverge");
+        for mode in [RecomputeMode::Incremental, RecomputeMode::IncrementalQe] {
+            let mut full = DesPolicy::new().with_recompute(RecomputeMode::Full);
+            let mut inc = DesPolicy::new().with_recompute(mode);
+            for (i, (now_ms, queue, core_jobs, budget)) in steps.iter().enumerate() {
+                let cores: Vec<CoreView<'_>> = core_jobs
+                    .iter()
+                    .map(|j| CoreView {
+                        jobs: j,
+                        busy: false,
+                    })
+                    .collect();
+                let v = view(ms(*now_ms), queue, &cores, *budget);
+                let df = full.on_trigger(&v);
+                let di = inc.on_trigger(&v);
+                assert_eq!(df.assignments, di.assignments, "{mode:?} step {i}");
+                assert_eq!(df.discarded, di.discarded, "{mode:?} step {i}");
+                assert_eq!(df.plans.len(), di.plans.len(), "{mode:?} step {i}");
+                for (c, (pf, pi)) in df.plans.iter().zip(&di.plans).enumerate() {
+                    let sf = pf.as_ref().map(|p| p.slices());
+                    let si = pi.as_ref().map(|p| p.slices());
+                    assert_eq!(sf, si, "{mode:?} step {i} core {c} plans diverge");
+                }
+                assert_eq!(df.ambient_speeds, di.ambient_speeds, "{mode:?} step {i}");
             }
-            assert_eq!(df.ambient_speeds, di.ambient_speeds, "step {i}");
         }
     }
 
@@ -1025,7 +1200,11 @@ mod tests {
         // new work, re-triggering must keep the installed plan (`None`)
         // rather than recompute — in both recompute modes, since the
         // keep rule is part of the decision procedure.
-        for mode in [RecomputeMode::Full, RecomputeMode::Incremental] {
+        for mode in [
+            RecomputeMode::Full,
+            RecomputeMode::Incremental,
+            RecomputeMode::IncrementalQe,
+        ] {
             let jobs = vec![rj(0, 0, 150, 60.0), rj(1, 0, 180, 45.0)];
             let mut p = DesPolicy::new().with_recompute(mode);
             let cores = vec![CoreView {

@@ -15,8 +15,9 @@
 //! at the workspace root (the runner needs the `qes-sim` engine, which
 //! this crate must not depend on):
 //!
-//! * `Incremental` is **bit-identical** to `Full` in ⟨quality, energy⟩
-//!   (and every other report field) under *both* trigger modes;
+//! * `Incremental` and `IncrementalQe` are **bit-identical** to `Full`
+//!   in ⟨quality, energy⟩ (and every other report field) under *both*
+//!   trigger modes;
 //! * `Grouped` stays within the paper's 1 % quality tolerance of
 //!   `PerEvent` while invoking the policy far less often.
 
@@ -61,8 +62,9 @@ pub struct DifferentialConfig {
 }
 
 impl DifferentialConfig {
-    /// All four {per-event, grouped} × {full, incremental} combinations.
-    pub const MATRIX: [DifferentialConfig; 4] = [
+    /// All six {per-event, grouped} × {full, incremental, incremental-qe}
+    /// combinations.
+    pub const MATRIX: [DifferentialConfig; 6] = [
         DifferentialConfig {
             trigger: TriggerMode::PerEvent,
             recompute: RecomputeMode::Full,
@@ -72,12 +74,20 @@ impl DifferentialConfig {
             recompute: RecomputeMode::Incremental,
         },
         DifferentialConfig {
+            trigger: TriggerMode::PerEvent,
+            recompute: RecomputeMode::IncrementalQe,
+        },
+        DifferentialConfig {
             trigger: TriggerMode::Grouped,
             recompute: RecomputeMode::Full,
         },
         DifferentialConfig {
             trigger: TriggerMode::Grouped,
             recompute: RecomputeMode::Incremental,
+        },
+        DifferentialConfig {
+            trigger: TriggerMode::Grouped,
+            recompute: RecomputeMode::IncrementalQe,
         },
     ];
 
@@ -93,6 +103,7 @@ impl DifferentialConfig {
         let r = match self.recompute {
             RecomputeMode::Full => "full",
             RecomputeMode::Incremental => "incremental",
+            RecomputeMode::IncrementalQe => "incremental-qe",
         };
         format!("{}/{}", self.trigger.label(), r)
     }
@@ -109,7 +120,7 @@ mod tests {
             .iter()
             .map(|c| c.label())
             .collect();
-        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.len(), 6);
         for (i, a) in labels.iter().enumerate() {
             for b in &labels[i + 1..] {
                 assert_ne!(a, b);
@@ -117,6 +128,8 @@ mod tests {
         }
         assert!(labels.contains(&"per-event/full".to_string()));
         assert!(labels.contains(&"grouped/incremental".to_string()));
+        assert!(labels.contains(&"per-event/incremental-qe".to_string()));
+        assert!(labels.contains(&"grouped/incremental-qe".to_string()));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub fn rectify_speeds(
 ) -> Vec<f64> {
     let m = grants.len();
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| grants[a].partial_cmp(&grants[b]).unwrap());
+    order.sort_by(|&a, &b| grants[a].total_cmp(&grants[b]));
     let granted: f64 = grants.iter().sum();
     let mut slack = (budget - granted).max(0.0);
     let mut speeds = vec![0.0; m];

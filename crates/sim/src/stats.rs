@@ -127,7 +127,7 @@ fn quantile(values: impl Iterator<Item = f64>, p: f64) -> Option<f64> {
     if v.is_empty() {
         return None;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 1.0);
     let pos = p * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;

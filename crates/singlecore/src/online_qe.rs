@@ -31,11 +31,12 @@ use std::collections::HashMap;
 
 use qes_core::job::{Job, JobId, JobSet};
 use qes_core::power::PowerModel;
-use qes_core::schedule::CoreSchedule;
+use qes_core::schedule::{CoreSchedule, Slice};
 use qes_core::time::SimTime;
 
 use crate::energy_opt::energy_opt;
-use crate::quality_opt::quality_opt;
+use crate::quality_opt::VolumeDecomposition;
+use crate::timeline::VJob;
 
 /// A job visible to the scheduler at invocation time, with its progress.
 #[derive(Clone, Copy, Debug)]
@@ -66,8 +67,9 @@ impl ReadyJob {
 pub struct OnlineQeOutcome {
     /// Slices from `now` onward realizing the myopic plan.
     pub schedule: CoreSchedule,
-    /// Planned *total* volume per job (sunk + future).
-    pub planned_total: HashMap<JobId, f64>,
+    /// Planned *total* volume per job (sunk + future), one entry per
+    /// ready job in the caller's order.
+    pub planned_total: Vec<(JobId, f64)>,
     /// Non-partial jobs discarded because the plan cannot finish them.
     pub discarded: Vec<JobId>,
     /// The maximum speed `s*` implied by this invocation's budget.
@@ -77,7 +79,11 @@ pub struct OnlineQeOutcome {
 impl OnlineQeOutcome {
     /// Planned total volume for `id` (its sunk volume if no future work).
     pub fn planned(&self, id: JobId) -> f64 {
-        self.planned_total.get(&id).copied().unwrap_or(0.0)
+        self.planned_total
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0)
     }
 }
 
@@ -122,134 +128,280 @@ pub fn online_qe_with_mode(
     budget: f64,
     mode: OnlineMode,
 ) -> OnlineQeOutcome {
-    let mut planned_total: HashMap<JobId, f64> = ready
-        .iter()
-        .map(|r| (r.job.id, r.processed.min(r.job.demand)))
-        .collect();
-    let s_max = model.speed_for_dynamic_power(budget);
-    if s_max <= 0.0 {
-        return OnlineQeOutcome {
-            schedule: CoreSchedule::default(),
-            planned_total,
-            discarded: vec![],
-            max_speed: 0.0,
-        };
-    }
+    QeSolver::default().solve(now, ready, model, budget, mode)
+}
 
-    let mut active: Vec<ReadyJob> = ready
-        .iter()
-        .filter(|r| r.job.deadline > now && r.remaining() > 1e-9)
-        .copied()
-        .collect();
-    // Canonical order. The caller's slice order is arbitrary (the
-    // engine's per-core lists are permuted by `swap_remove`), and the
-    // float summations downstream are order-sensitive; sorting makes the
-    // outcome a function of the job *set* — the invariant DES's
-    // incremental cache keys on (and `prop_order_insensitive` checks).
-    active.sort_unstable_by_key(|r| (r.job.deadline, r.job.id));
-    let mut discarded = Vec::new();
+/// Reusable Online-QE solver state: scratch buffers plus the most recent
+/// volume decomposition (resumed by the §V-D discard loop).
+///
+/// Every solve is bitwise independent of prior solves — the buffers only
+/// amortize allocations — so callers may share one solver across cores,
+/// invocations, and [`crate::online_qe::OnlineMode`]s without affecting
+/// results. DES keeps one per core (warm across invocations) plus one
+/// shared instance for its full-recompute reference modes.
+#[derive(Clone, Debug, Default)]
+pub struct QeSolver {
+    active: Vec<ReadyJob>,
+    alive: Vec<bool>,
+    /// Rewound (possibly negative) f64 µs release per active job; fixed
+    /// for the whole invocation since `now`, `processed`, and `s_max`
+    /// don't change across discard rounds.
+    adj: Vec<f64>,
+    vjobs: Vec<VJob>,
+    vols: Vec<f64>,
+    decomp: VolumeDecomposition,
+    trimmed: Vec<Job>,
+}
 
-    // Iterate the §V-D discard loop for non-partial jobs.
-    let volumes = loop {
-        if active.is_empty() {
-            break HashMap::new();
-        }
-        let volumes = myopic_volumes(now, &active, s_max);
-        // Discard at most one unfinishable non-partial job per round (the
-        // one with the largest shortfall), then recompute: discarding frees
-        // capacity that may rescue the others.
-        let worst = active
+impl QeSolver {
+    /// Run one Online-QE invocation. See [`online_qe_with_mode`].
+    pub fn solve(
+        &mut self,
+        now: SimTime,
+        ready: &[ReadyJob],
+        model: &dyn PowerModel,
+        budget: f64,
+        mode: OnlineMode,
+    ) -> OnlineQeOutcome {
+        let mut planned_total: Vec<(JobId, f64)> = ready
             .iter()
-            .filter_map(|r| {
-                let p = volumes.get(&r.job.id).copied().unwrap_or(0.0);
-                let shortfall = r.job.demand - p;
-                (!r.job.partial && shortfall > 1e-6).then_some((r.job.id, shortfall))
-            })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        match worst {
-            Some((id, _)) => {
-                discarded.push(id);
-                active.retain(|r| r.job.id != id);
-            }
-            None => break volumes,
+            .map(|r| (r.job.id, r.processed.min(r.job.demand)))
+            .collect();
+        let s_max = model.speed_for_dynamic_power(budget);
+        if s_max <= 0.0 {
+            return OnlineQeOutcome {
+                schedule: CoreSchedule::default(),
+                planned_total,
+                discarded: vec![],
+                max_speed: 0.0,
+            };
         }
-    };
 
-    // Trim to the future remainder and re-release at `now`. The myopic
-    // volumes are feasible at `s_max` up to µs rounding of the rewound
-    // releases; clamp the remainders to *exact* EDF feasibility at `s_max`
-    // so the Energy-OPT step can never exceed the budget.
-    let mut trimmed: Vec<Job> = active
-        .iter()
-        .filter_map(|r| {
-            let p = volumes.get(&r.job.id).copied().unwrap_or(0.0);
-            let future = p - r.processed;
-            (future > 1e-9).then_some(Job {
-                release: now,
-                demand: future,
-                ..r.job
-            })
-        })
-        .collect();
-    trimmed.sort_by_key(|j| (j.deadline, j.id));
-    let units_per_us = s_max / 1000.0;
-    let mut cum = 0.0;
-    for j in &mut trimmed {
-        let cap = j.deadline.saturating_since(now).as_micros() as f64 * units_per_us;
-        let excess = (cum + j.demand - cap).max(0.0);
-        j.demand = (j.demand - excess).max(0.0);
-        cum += j.demand;
-    }
-    trimmed.retain(|j| j.demand > 1e-9);
-    let schedule = match mode {
-        OnlineMode::Efficient => {
-            let e = energy_opt(&JobSet::new_unchecked(trimmed));
-            debug_assert!(
-                e.initial_speed() <= s_max + 1e-3,
-                "budget violated by Online-QE: {} > {}",
-                e.initial_speed(),
-                s_max
-            );
-            e.schedule
-        }
-        OnlineMode::Eager => {
-            // Run the remainders back-to-back at `s_max` (EDF order — the
-            // sort above). The grant is fully spent on quality now; the
-            // slack Energy-OPT would have created is worthless under
-            // sustained arrivals, which is exactly when the budget binds.
-            let us_per_unit = 1000.0 / s_max;
-            let mut slices = Vec::with_capacity(trimmed.len());
-            let mut cur = now.as_micros() as f64;
-            for j in &trimmed {
-                let start = cur;
-                let end = start + j.demand * us_per_unit;
-                cur = end;
-                let si = SimTime::from_micros(start.round() as u64);
-                let ei = SimTime::from_micros((end.round() as u64).min(j.deadline.as_micros()));
-                if ei > si {
-                    slices.push(qes_core::schedule::Slice {
-                        job: j.id,
-                        start: si,
-                        end: ei,
-                        speed: s_max,
-                    });
+        self.active.clear();
+        self.active.extend(
+            ready
+                .iter()
+                .filter(|r| r.job.deadline > now && r.remaining() > 1e-9)
+                .copied(),
+        );
+        // Canonical order. The caller's slice order is arbitrary (the
+        // engine's per-core lists are permuted by `swap_remove`), and the
+        // float summations downstream are order-sensitive; sorting makes
+        // the outcome a function of the job *set* — the invariant DES's
+        // incremental cache keys on (and `prop_order_insensitive` checks).
+        self.active
+            .sort_unstable_by_key(|r| (r.job.deadline, r.job.id));
+        let n = self.active.len();
+        let mut discarded = Vec::new();
+
+        let us_per_unit = 1000.0 / s_max;
+        let units_per_us = s_max / 1000.0;
+        let now_f = now.as_micros() as f64;
+        self.alive.clear();
+        self.alive.resize(n, true);
+        self.adj.clear();
+        self.adj.extend(
+            self.active
+                .iter()
+                .map(|r| now_f - r.processed * us_per_unit),
+        );
+        self.vols.clear();
+        self.vols.resize(n, 0.0);
+
+        if n > 0 {
+            // Step 1: the myopic volumes, then the §V-D discard loop for
+            // non-partial jobs. Snapshots are recorded only when a
+            // discard can actually happen.
+            let record = self.active.iter().any(|r| !r.job.partial);
+            let mut shift_us = rewound_vjobs(&self.active, &self.alive, &self.adj, &mut self.vjobs);
+            self.decomp
+                .solve(&self.vjobs, units_per_us, record, &mut self.vols);
+            loop {
+                // Discard at most one unfinishable non-partial job per
+                // round (the one with the largest shortfall), then
+                // recompute: discarding frees capacity that may rescue
+                // the others.
+                let worst = self
+                    .active
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, r)| {
+                        self.alive[i] && !r.job.partial && r.job.demand - self.vols[i] > 1e-6
+                    })
+                    .map(|(i, r)| (i, r.job.demand - self.vols[i]))
+                    .max_by(|a, b| a.1.total_cmp(&b.1));
+                let Some((x, _)) = worst else { break };
+                discarded.push(self.active[x].job.id);
+                self.alive[x] = false;
+                self.vols[x] = 0.0;
+                // Removing a job can change the rewind shift (if it held
+                // the minimum adjusted release) and thereby every other
+                // job's rounded virtual window — the virtual geometry
+                // moves, so the recorded decomposition is useless. Resume
+                // only when the shift is unchanged *and* the earlier
+                // rounds' chosen intervals survive the removal; otherwise
+                // rebuild and re-solve from scratch (the invalidation
+                // contract — DESIGN.md §"Interval reuse").
+                let new_shift = rewind_shift_us(&self.alive, &self.adj);
+                if new_shift == shift_us && self.decomp.can_resume_without(x as u32, &self.alive) {
+                    self.decomp
+                        .resume_without(x as u32, &self.alive, units_per_us, &mut self.vols);
+                } else {
+                    shift_us = rewound_vjobs(&self.active, &self.alive, &self.adj, &mut self.vjobs);
+                    self.decomp
+                        .solve(&self.vjobs, units_per_us, true, &mut self.vols);
+                }
+                #[cfg(debug_assertions)]
+                {
+                    // The resume contract, enforced: identical bits to a
+                    // from-scratch solve over the surviving jobs.
+                    let mut ref_vjobs = Vec::new();
+                    let mut ref_vols = vec![0.0; n];
+                    rewound_vjobs(&self.active, &self.alive, &self.adj, &mut ref_vjobs);
+                    let mut ref_decomp = VolumeDecomposition::default();
+                    ref_decomp.solve(&ref_vjobs, units_per_us, false, &mut ref_vols);
+                    for (i, (v, rv)) in self.vols.iter().zip(&ref_vols).enumerate() {
+                        debug_assert!(
+                            !self.alive[i] || v.to_bits() == rv.to_bits(),
+                            "discard resume diverged from a full re-solve at job {i}"
+                        );
+                    }
                 }
             }
-            CoreSchedule::new(slices)
         }
-    };
-    // Planned totals: sunk work plus what the schedule will actually run.
-    for (id, v) in schedule.volumes() {
-        if let Some(t) = planned_total.get_mut(&id) {
-            *t += v;
+
+        // Trim to the future remainder and re-release at `now`. The myopic
+        // volumes are feasible at `s_max` up to µs rounding of the rewound
+        // releases; clamp the remainders to *exact* EDF feasibility at
+        // `s_max` so the Energy-OPT step can never exceed the budget.
+        // `active` is (deadline, id)-sorted and the filter preserves
+        // order, so `trimmed` is already in EDF order.
+        self.trimmed.clear();
+        for i in 0..n {
+            if !self.alive[i] {
+                continue;
+            }
+            let r = &self.active[i];
+            let future = self.vols[i] - r.processed;
+            if future > 1e-9 {
+                self.trimmed.push(Job {
+                    release: now,
+                    demand: future,
+                    ..r.job
+                });
+            }
+        }
+        let mut cum = 0.0;
+        for j in &mut self.trimmed {
+            let cap = j.deadline.saturating_since(now).as_micros() as f64 * units_per_us;
+            let excess = (cum + j.demand - cap).max(0.0);
+            j.demand = (j.demand - excess).max(0.0);
+            cum += j.demand;
+        }
+        self.trimmed.retain(|j| j.demand > 1e-9);
+        let schedule = match mode {
+            OnlineMode::Efficient => {
+                let e = energy_opt(&JobSet::new_unchecked(self.trimmed.clone()));
+                debug_assert!(
+                    e.initial_speed() <= s_max + 1e-3,
+                    "budget violated by Online-QE: {} > {}",
+                    e.initial_speed(),
+                    s_max
+                );
+                e.schedule
+            }
+            OnlineMode::Eager => {
+                // Run the remainders back-to-back at `s_max` (EDF order —
+                // the sort above). The grant is fully spent on quality
+                // now; the slack Energy-OPT would have created is
+                // worthless under sustained arrivals, which is exactly
+                // when the budget binds.
+                let mut slices = Vec::with_capacity(self.trimmed.len());
+                let mut cur = now.as_micros() as f64;
+                for j in &self.trimmed {
+                    let start = cur;
+                    let dl = j.deadline.as_micros();
+                    // The trim loop caps every EDF prefix at its deadline
+                    // capacity, so the unclamped end can overshoot `dl`
+                    // only by float rounding — but the cursor must still
+                    // advance from the *clamped* end, or the clamped
+                    // volume is silently dropped and dead time opens up
+                    // before the next slice.
+                    let end = (start + j.demand * us_per_unit).min(dl as f64);
+                    cur = end;
+                    let si = SimTime::from_micros(start.round() as u64);
+                    let ei = SimTime::from_micros((end.round() as u64).min(dl));
+                    if ei > si {
+                        slices.push(Slice {
+                            job: j.id,
+                            start: si,
+                            end: ei,
+                            speed: s_max,
+                        });
+                    }
+                }
+                let schedule = CoreSchedule::new(slices);
+                #[cfg(debug_assertions)]
+                {
+                    let planned: f64 = self.trimmed.iter().map(|j| j.demand).sum();
+                    let realized: f64 = schedule.slices().iter().map(|s| s.volume()).sum();
+                    // Each slice boundary moves ≤ 0.5 µs when rounded.
+                    let tol = (self.trimmed.len() as f64 + 1.0) * units_per_us + 1e-6;
+                    debug_assert!(
+                        (planned - realized).abs() <= tol,
+                        "Eager dropped volume: planned {planned}, realized {realized}"
+                    );
+                }
+                schedule
+            }
+        };
+        // Planned totals: sunk work plus what the schedule will run.
+        for s in schedule.slices() {
+            if let Some(t) = planned_total.iter_mut().find(|(id, _)| *id == s.job) {
+                t.1 += s.volume();
+            }
+        }
+        OnlineQeOutcome {
+            schedule,
+            planned_total,
+            discarded,
+            max_speed: s_max,
         }
     }
-    OnlineQeOutcome {
-        schedule,
-        planned_total,
-        discarded,
-        max_speed: s_max,
+}
+
+/// The integral µs shift making every *alive* rewound release land ≥ 0.
+fn rewind_shift_us(alive: &[bool], adj: &[f64]) -> u64 {
+    let min_adj = adj
+        .iter()
+        .zip(alive)
+        .filter(|&(_, &a)| a)
+        .map(|(&x, _)| x)
+        .fold(f64::INFINITY, f64::min);
+    (-min_adj).max(0.0).ceil() as u64
+}
+
+/// Build the rewound virtual jobs over the alive subset of `active`,
+/// shifting releases *and* deadlines by the same integral µs amount
+/// ([`rewind_shift_us`]) so a fractional rewind cannot skew any job's
+/// window length. `VJob::id` carries the job's index in `active`. Returns
+/// the shift applied.
+fn rewound_vjobs(active: &[ReadyJob], alive: &[bool], adj: &[f64], out: &mut Vec<VJob>) -> u64 {
+    let shift_us = rewind_shift_us(alive, adj);
+    let shift = shift_us as f64;
+    out.clear();
+    for (i, r) in active.iter().enumerate() {
+        if !alive[i] || r.job.demand <= 0.0 {
+            continue;
+        }
+        out.push(VJob {
+            id: JobId(i as u32),
+            r: (adj[i] + shift).round() as u64,
+            d: r.job.deadline.as_micros() + shift_us,
+            w: r.job.demand,
+        });
     }
+    shift_us
 }
 
 /// Step 1 of Online-QE: Quality-OPT at `s_max` over the ready jobs with
@@ -260,25 +412,22 @@ pub fn online_qe_with_mode(
 /// step.
 pub fn myopic_volumes(now: SimTime, active: &[ReadyJob], s_max: f64) -> HashMap<JobId, f64> {
     let us_per_unit = 1000.0 / s_max;
-    // Adjusted release in (possibly negative) f64 µs.
+    let now_f = now.as_micros() as f64;
     let adj: Vec<f64> = active
         .iter()
-        .map(|r| now.as_micros() as f64 - r.processed * us_per_unit)
+        .map(|r| now_f - r.processed * us_per_unit)
         .collect();
-    let min_adj = adj.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-    // Shift so every adjusted release is ≥ 0 in SimTime.
-    let shift = (-min_adj).max(0.0).ceil();
-    let shifted: Vec<Job> = active
+    let alive = vec![true; active.len()];
+    let mut vjobs = Vec::new();
+    rewound_vjobs(active, &alive, &adj, &mut vjobs);
+    let mut vols = vec![0.0; active.len()];
+    let mut decomp = VolumeDecomposition::default();
+    decomp.solve(&vjobs, s_max / 1000.0, false, &mut vols);
+    active
         .iter()
-        .zip(&adj)
-        .map(|(r, &a)| Job {
-            release: SimTime::from_micros((a + shift).round() as u64),
-            deadline: SimTime::from_micros(r.job.deadline.as_micros() + shift as u64),
-            ..r.job
-        })
-        .collect();
-    let q = quality_opt(&JobSet::new_unchecked(shifted), s_max);
-    q.volumes
+        .zip(&vols)
+        .map(|(r, &v)| (r.job.id, v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -486,6 +635,138 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fractional_rewind_shifts_both_window_endpoints() {
+        // A rewound release landing between µs ticks (processed ·
+        // µs/unit fractional): the virtual instance must equal the
+        // hand-shifted one — releases *and* deadlines moved by the same
+        // integral µs amount. A skewed shift would change window lengths
+        // and with them the volumes, so bitwise equality against
+        // Quality-OPT over the hand-shifted jobs pins the construction.
+        let now = SimTime::from_micros(1_000);
+        let s_max = 1.0; // 1 unit per ms ⇒ µs/unit = 1000
+        let mk = |id: u32, d_us: u64, w: f64, done: f64| ReadyJob {
+            job: Job::new(id, SimTime::ZERO, SimTime::from_micros(d_us), w).unwrap(),
+            processed: done,
+        };
+        // adj₀ = 1000 − 1250.25 = −250.25 (fractional, negative: sets the
+        // shift); adj₁ = 1000 − 500.1 = 499.9 (fractional, positive).
+        let active = vec![
+            mk(0, 150_000, 200.0, 1.25025),
+            mk(1, 160_000, 100.0, 0.5001),
+        ];
+        let got = myopic_volumes(now, &active, s_max);
+
+        // Hand-shifted instance: S = ⌈250.25⌉ = 251 µs applied to both
+        // endpoints, releases rounded after the shift.
+        let shift = 251u64;
+        let hand = JobSet::new(
+            active
+                .iter()
+                .map(|r| {
+                    let adj = now.as_micros() as f64 - r.processed * 1000.0 / s_max;
+                    Job {
+                        release: SimTime::from_micros((adj + shift as f64).round() as u64),
+                        deadline: SimTime::from_micros(r.job.deadline.as_micros() + shift),
+                        ..r.job
+                    }
+                })
+                .collect(),
+        )
+        .unwrap();
+        let qo = crate::quality_opt::quality_opt(&hand, s_max);
+        for r in &active {
+            assert_eq!(
+                got[&r.job.id].to_bits(),
+                qo.volume(r.job.id).to_bits(),
+                "{:?}: rewound volumes diverged from the hand-shifted instance",
+                r.job.id
+            );
+        }
+    }
+
+    #[test]
+    fn discard_loop_stays_exact_when_rewind_shift_moves() {
+        // Three unfinishable non-partial jobs, one carrying the prior
+        // progress that defines the rewind shift. The §V-D loop crosses
+        // both the resume path and the rebuild fallback (discarding the
+        // shift-defining job changes the virtual geometry); the
+        // debug_assertions cross-check in `solve` compares every round
+        // against a from-scratch solve, so this test failing — or
+        // panicking — means the invalidation contract broke.
+        let now = ms(100);
+        let mut a = rj(0, 0, 200, 120.0, 90.0);
+        let mut b = rj(1, 0, 200, 120.0, 0.0);
+        let mut c = rj(2, 0, 210, 120.0, 0.0);
+        a.job.partial = false;
+        b.job.partial = false;
+        c.job.partial = false;
+        let out = online_qe(now, &[a, b, c], &MODEL, 5.0); // 1 GHz
+        assert!(!out.discarded.is_empty());
+        // Whatever survives as non-partial is planned in full.
+        for r in [a, b, c] {
+            if !out.discarded.contains(&r.job.id) {
+                assert!(
+                    out.planned(r.job.id) >= r.job.demand - 1e-6,
+                    "{:?} kept but unfinished: {}",
+                    r.job.id,
+                    out.planned(r.job.id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn second_discard_does_not_resurrect_the_first() {
+        // Regression (caught by the debug cross-check on a live sim):
+        // with two discards in one invocation, resuming the decomposition
+        // from a round recorded *before* the first discard must not
+        // re-admit the already-discarded job — it lingers in early
+        // snapshots as an unfixed participant and must be filtered by the
+        // alive set. Pre-fix, the resurrected job depressed the
+        // survivor's volume below its demand, cascading into a third
+        // (wrong) discard.
+        let now = SimTime::from_micros(148_242);
+        let mk = |id, r_us: u64, d_us: u64, w: f64, done: f64| {
+            let mut j = Job::new(
+                id,
+                SimTime::from_micros(r_us),
+                SimTime::from_micros(d_us),
+                w,
+            )
+            .unwrap();
+            j.partial = false;
+            ReadyJob {
+                job: j,
+                processed: done,
+            }
+        };
+        let ready = vec![
+            mk(
+                0,
+                0,
+                150_000,
+                130.413_085_928_557_14,
+                126.038_570_647_654_17,
+            ),
+            mk(1, 74_993, 224_993, 152.765_002_805_252_75, 0.0),
+            mk(2, 124_422, 274_422, 256.164_825_893_611, 0.0),
+        ];
+        let budget = MODEL.dynamic_power(2.391_620_727_883_861);
+        let out = online_qe(now, &ready, &MODEL, budget);
+        assert_eq!(out.discarded.len(), 2, "discarded: {:?}", out.discarded);
+        let kept = ready
+            .iter()
+            .find(|r| !out.discarded.contains(&r.job.id))
+            .unwrap();
+        assert!(
+            out.planned(kept.job.id) >= kept.job.demand - 1e-6,
+            "{:?} kept but unfinished: {}",
+            kept.job.id,
+            out.planned(kept.job.id)
+        );
     }
 
     #[test]

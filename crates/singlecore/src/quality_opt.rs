@@ -18,7 +18,7 @@
 //! and recurses; when every remaining interval can satisfy its jobs, the
 //! rest are scheduled in full.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use qes_core::job::{JobId, JobSet};
 use qes_core::schedule::{CoreSchedule, Slice};
@@ -70,12 +70,13 @@ pub fn quality_opt(jobs: &JobSet, speed_ghz: f64) -> QualityOptResult {
     let mut slices: Vec<Slice> = Vec::new();
     // units the core does per µs: 1 unit = 1 GHz·ms ⇒ cap(µs) = s·µs/1000.
     let units_per_us = speed_ghz / 1000.0;
+    let mut scratch = BdiScratch::default();
 
     loop {
         if vjobs.is_empty() {
             break;
         }
-        match busiest_deprived_interval(&vjobs, units_per_us) {
+        match busiest_deprived_interval(&vjobs, units_per_us, &mut scratch) {
             None => {
                 // Everything remaining is satisfiable: schedule in full.
                 vjobs.sort_by_key(|x| (x.d, x.r, x.id));
@@ -168,27 +169,84 @@ pub(crate) fn d_mean(capacity: f64, demands: &[f64]) -> Option<(f64, usize)> {
     }
 }
 
+/// Reusable buffers for [`busiest_deprived_interval`]; a warm scratch
+/// makes the search allocation-free, which matters because Online-QE runs
+/// it on every invocation of every core.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BdiScratch {
+    /// Distinct releases, ascending.
+    rels: Vec<u64>,
+    /// Distinct deadlines, ascending.
+    dls: Vec<u64>,
+    /// Job indices ordered by deadline.
+    by_d: Vec<u32>,
+    /// Demands of the current candidate group, kept sorted ascending.
+    sorted: Vec<f64>,
+}
+
 /// Find the busiest deprived interval: the candidate `[a, b)` minimizing
 /// the d-mean. Returns `None` when no interval has deprived jobs (all jobs
 /// satisfiable at this speed).
-fn busiest_deprived_interval(vjobs: &[VJob], units_per_us: f64) -> Option<(u64, u64, f64)> {
-    let releases: BTreeSet<u64> = vjobs.iter().map(|j| j.r).collect();
-    let deadlines: BTreeSet<u64> = vjobs.iter().map(|j| j.d).collect();
+///
+/// Visits candidates with `a` ascending then `b` ascending and keeps the
+/// first minimum — the tie rule the decomposition's determinism rests on.
+/// For a fixed `a` the contained group only grows with `b`, so the group's
+/// demands are accumulated incrementally (sorted-insert) instead of
+/// refiltered per candidate; `d_mean` still sums the sorted demands
+/// itself, so its result is bit-identical to the refiltering form.
+fn busiest_deprived_interval(
+    vjobs: &[VJob],
+    units_per_us: f64,
+    s: &mut BdiScratch,
+) -> Option<(u64, u64, f64)> {
+    s.rels.clear();
+    s.rels.extend(vjobs.iter().map(|j| j.r));
+    s.rels.sort_unstable();
+    s.rels.dedup();
+    s.dls.clear();
+    s.dls.extend(vjobs.iter().map(|j| j.d));
+    s.dls.sort_unstable();
+    s.dls.dedup();
+    s.by_d.clear();
+    s.by_d.extend(0..vjobs.len() as u32);
+    s.by_d.sort_unstable_by_key(|&i| vjobs[i as usize].d);
     let mut best: Option<(u64, u64, f64)> = None;
-    let mut demands = Vec::with_capacity(vjobs.len());
-    for &a in &releases {
-        for &b in &deadlines {
-            if b <= a {
+    for i in 0..s.rels.len() {
+        let a = s.rels[i];
+        s.sorted.clear();
+        // Running sum of the group's demands, for the skip test below.
+        // Its summation order differs from the canonical (sorted) order
+        // `d_mean` uses, so it is never compared against the 1e-9 slack
+        // directly — only with a margin far wider than its float error.
+        let mut running = 0.0f64;
+        let mut di = 0usize;
+        for &b in &s.dls {
+            // Append jobs due exactly at `b`; a surviving job always has
+            // `r < d`, so none of them can join a group when `b ≤ a`.
+            while di < s.by_d.len() {
+                let j = &vjobs[s.by_d[di] as usize];
+                if j.d != b {
+                    break;
+                }
+                if j.r >= a && j.d > a {
+                    let pos = s.sorted.partition_point(|&x| x < j.w);
+                    s.sorted.insert(pos, j.w);
+                    running += j.w;
+                }
+                di += 1;
+            }
+            if b <= a || s.sorted.is_empty() {
                 continue;
             }
-            demands.clear();
-            demands.extend(vjobs.iter().filter(|j| j.r >= a && j.d <= b).map(|j| j.w));
-            if demands.is_empty() {
-                continue;
-            }
-            demands.sort_by(|x, y| x.partial_cmp(y).unwrap());
             let capacity = (b - a) as f64 * units_per_us;
-            if let Some((level, _)) = d_mean(capacity, &demands) {
+            // `d_mean` returns `None` (candidate irrelevant) whenever the
+            // canonical total ≤ capacity + 1e-9. `running` agrees with
+            // the canonical total to within summation error ≪ the 1e-6
+            // margin, so skipping here can only skip `None` candidates.
+            if running <= capacity - 1e-6 * (1.0 + running) {
+                continue;
+            }
+            if let Some((level, _)) = d_mean(capacity, &s.sorted) {
                 match best {
                     Some((_, _, l)) if l <= level => {}
                     _ => best = Some((a, b, level)),
@@ -197,6 +255,158 @@ fn busiest_deprived_interval(vjobs: &[VJob], units_per_us: f64) -> Option<(u64, 
         }
     }
     best
+}
+
+/// The busiest-deprived-interval recursion of [`quality_opt`], reduced to
+/// what Online-QE's myopic step actually consumes: per-job volumes, no
+/// schedule. Exposed as a structure so the §V-D discard loop can *resume*
+/// the recursion after removing a job instead of re-running it from
+/// scratch.
+///
+/// Jobs are addressed by their index in the caller's array: `VJob::id`
+/// carries the index, and `vols` is indexed by it.
+///
+/// When `record` is set, the job state at the start of every round is
+/// snapshotted. [`Self::resume_without`] then replays the recursion from
+/// the round that fixed a removed job's volume. The resume is
+/// bit-identical to a from-scratch solve without that job provided the
+/// chosen intervals of all earlier rounds survive the removal — which
+/// [`Self::can_resume_without`] checks: every earlier chosen endpoint must
+/// be anchored by some *other* job alive in that round (a removed job that
+/// was the sole holder of a chosen endpoint would have changed the
+/// candidate enumeration itself). See DESIGN.md §"Interval reuse and
+/// invalidation" for the full contract.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VolumeDecomposition {
+    /// Surviving jobs, windows compressed through all extracted intervals.
+    work: Vec<VJob>,
+    /// Round in which each job index had its volume fixed.
+    fixed_round: Vec<u32>,
+    /// `work` as of the start of each round (only kept when recording).
+    snapshots: Vec<Vec<VJob>>,
+    /// The `(a, b)` chosen by each completed group round.
+    chosen: Vec<(u64, u64)>,
+    scratch: BdiScratch,
+}
+
+impl VolumeDecomposition {
+    /// Run the full decomposition over `vjobs`, writing each job's volume
+    /// into `vols[id]`. `vols` must cover every id in `vjobs`.
+    pub(crate) fn solve(
+        &mut self,
+        vjobs: &[VJob],
+        units_per_us: f64,
+        record: bool,
+        vols: &mut [f64],
+    ) {
+        self.work.clear();
+        self.work.extend_from_slice(vjobs);
+        self.snapshots.clear();
+        self.chosen.clear();
+        self.fixed_round.clear();
+        self.fixed_round.resize(vols.len(), u32::MAX);
+        self.run(0, units_per_us, record, vols);
+    }
+
+    /// Whether [`Self::resume_without`] would be bit-identical to a
+    /// from-scratch solve over the `alive` jobs after removing job `x`
+    /// (the caller has already cleared `alive[x]`): `x` must have a
+    /// recorded fixing round, and every earlier round's chosen interval
+    /// must keep both endpoints anchored by a still-alive job. Snapshots
+    /// of early rounds predate later removals, so dead jobs linger in
+    /// them as unfixed participants — they must anchor nothing and be
+    /// filtered out on replay.
+    pub(crate) fn can_resume_without(&self, x: u32, alive: &[bool]) -> bool {
+        let k = self
+            .fixed_round
+            .get(x as usize)
+            .copied()
+            .unwrap_or(u32::MAX);
+        if (k as usize) >= self.snapshots.len() {
+            return false;
+        }
+        self.chosen[..k as usize]
+            .iter()
+            .zip(&self.snapshots)
+            .all(|(&(a, b), snap)| {
+                let mut a_held = false;
+                let mut b_held = false;
+                for j in snap {
+                    if alive[j.id.0 as usize] {
+                        a_held |= j.r == a;
+                        b_held |= j.d == b;
+                    }
+                }
+                a_held && b_held
+            })
+    }
+
+    /// Replay the recursion from the round that fixed job `x`, over the
+    /// still-`alive` jobs of that round's snapshot. Only valid right
+    /// after a solve/resume in which `record` was set and
+    /// [`Self::can_resume_without`]`(x, alive)` holds.
+    pub(crate) fn resume_without(
+        &mut self,
+        x: u32,
+        alive: &[bool],
+        units_per_us: f64,
+        vols: &mut [f64],
+    ) {
+        let k = self.fixed_round[x as usize] as usize;
+        debug_assert!(k < self.snapshots.len());
+        let snap = std::mem::take(&mut self.snapshots[k]);
+        self.work.clear();
+        self.work
+            .extend(snap.iter().filter(|j| alive[j.id.0 as usize]).copied());
+        self.snapshots.truncate(k);
+        self.chosen.truncate(k);
+        self.run(k as u32, units_per_us, true, vols);
+    }
+
+    fn run(&mut self, first_round: u32, units_per_us: f64, record: bool, vols: &mut [f64]) {
+        let mut round = first_round;
+        loop {
+            if self.work.is_empty() {
+                break;
+            }
+            if record {
+                self.snapshots.push(self.work.clone());
+            }
+            match busiest_deprived_interval(&self.work, units_per_us, &mut self.scratch) {
+                None => {
+                    // Everything remaining is satisfiable in full.
+                    for j in &self.work {
+                        vols[j.id.0 as usize] = j.w;
+                        self.fixed_round[j.id.0 as usize] = round;
+                    }
+                    break;
+                }
+                Some((a, b, level)) => {
+                    self.chosen.push((a, b));
+                    // In-place, order-preserving partition: fix the
+                    // contained group's volumes, compress the rest.
+                    let mut keep = 0;
+                    for i in 0..self.work.len() {
+                        let j = self.work[i];
+                        if j.r >= a && j.d <= b {
+                            let idx = j.id.0 as usize;
+                            vols[idx] = if j.w <= level + 1e-9 { j.w } else { level };
+                            self.fixed_round[idx] = round;
+                        } else {
+                            self.work[keep] = VJob {
+                                r: compress_point(j.r, a, b),
+                                d: compress_point(j.d, a, b),
+                                ..j
+                            };
+                            keep += 1;
+                        }
+                    }
+                    self.work.truncate(keep);
+                    round += 1;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -73,7 +73,7 @@ impl SteppedRate {
         if steps.is_empty() || steps.iter().any(|&(_, r)| r < 0.0 || !r.is_finite()) {
             return None;
         }
-        steps.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        steps.sort_by(|a, b| a.0.total_cmp(&b.0));
         Some(SteppedRate { steps })
     }
 }

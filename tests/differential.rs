@@ -2,14 +2,15 @@
 //! recomputation).
 //!
 //! The same workload is pushed through every cell of the
-//! {per-event, grouped} × {full-recompute, incremental} matrix and the
-//! reports compared:
+//! {per-event, grouped} × {full-recompute, incremental, incremental-qe}
+//! matrix and the reports compared:
 //!
 //! * **Incremental ≡ Full, bitwise.** Plan/grant reuse is only allowed
-//!   when the inputs are bitwise identical, so the two recompute modes
-//!   must agree on ⟨quality, energy⟩ *to the bit*, plus every job
-//!   counter and the invocation count — under both trigger modes and
-//!   with nonzero scheduling overhead.
+//!   when the inputs are bitwise identical, so every caching recompute
+//!   mode (including the index-backed `IncrementalQe` default) must
+//!   agree with `Full` on ⟨quality, energy⟩ *to the bit*, plus every
+//!   job counter and the invocation count — under both trigger modes
+//!   and with nonzero scheduling overhead.
 //! * **Grouped ≈ Per-event.** Grouped scheduling trades recomputation
 //!   for staleness; the paper's claim (§IV-E) is that quality barely
 //!   moves. We assert normalized quality within 1 % while the policy is
@@ -119,13 +120,10 @@ fn incremental_is_bitwise_identical_to_full_recompute() {
                 end,
                 SimDuration::ZERO,
             );
-            let inc = run_cell(
-                cell(trigger, RecomputeMode::Incremental),
-                &jobs,
-                end,
-                SimDuration::ZERO,
-            );
-            assert_bitwise_equal(&full, &inc, &format!("{name}/{}", trigger.label()));
+            for mode in [RecomputeMode::Incremental, RecomputeMode::IncrementalQe] {
+                let inc = run_cell(cell(trigger, mode), &jobs, end, SimDuration::ZERO);
+                assert_bitwise_equal(&full, &inc, &format!("{name}/{}/{mode:?}", trigger.label()));
+            }
         }
     }
 }
@@ -139,13 +137,14 @@ fn incremental_equivalence_survives_scheduling_overhead() {
     let overhead = SimDuration::from_micros(2_000);
     for trigger in [TriggerMode::PerEvent, TriggerMode::Grouped] {
         let full = run_cell(cell(trigger, RecomputeMode::Full), &jobs, end, overhead);
-        let inc = run_cell(
-            cell(trigger, RecomputeMode::Incremental),
-            &jobs,
-            end,
-            overhead,
-        );
-        assert_bitwise_equal(&full, &inc, &format!("overhead/{}", trigger.label()));
+        for mode in [RecomputeMode::Incremental, RecomputeMode::IncrementalQe] {
+            let inc = run_cell(cell(trigger, mode), &jobs, end, overhead);
+            assert_bitwise_equal(
+                &full,
+                &inc,
+                &format!("overhead/{}/{mode:?}", trigger.label()),
+            );
+        }
     }
 }
 
@@ -212,13 +211,16 @@ fn grouped_triggers_cut_invocations_substantially() {
 
 #[test]
 fn matrix_labels_are_reported() {
-    // The four policies must be distinguishable in reports.
+    // The six policies must be distinguishable in reports. Only the
+    // non-default recompute modes carry a suffix: `IncrementalQe` is the
+    // default, so its two cells report the bare policy name.
     let (jobs, end) = overloaded_workload();
     let mut names = Vec::new();
     for c in DifferentialConfig::MATRIX {
         let r = run_cell(c, &jobs, end, SimDuration::ZERO);
         names.push(r.policy);
     }
+    assert_eq!(names.len(), 6);
     assert!(names.iter().all(|n| n.starts_with("DES/C-DVFS")));
     assert_eq!(
         names
@@ -227,4 +229,9 @@ fn matrix_labels_are_reported() {
             .count(),
         2
     );
+    assert_eq!(
+        names.iter().filter(|n| n.ends_with("/incremental")).count(),
+        2
+    );
+    assert_eq!(names.iter().filter(|n| *n == "DES/C-DVFS").count(), 2);
 }

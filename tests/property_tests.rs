@@ -9,7 +9,7 @@ use qes::core::{
     ExpQuality, Job, JobSet, PolynomialPower, PowerModel, QualityFunction, Schedule, SimTime,
 };
 use qes::multicore::water_filling;
-use qes::singlecore::online_qe::ReadyJob;
+use qes::singlecore::online_qe::{OnlineMode, ReadyJob};
 use qes::singlecore::{energy_opt, online_qe, qe_opt, quality_opt};
 
 const MODEL: PolynomialPower = PolynomialPower::PAPER_SIM;
@@ -165,6 +165,45 @@ proptest! {
             let v = vols.get(&r.job.id).copied().unwrap_or(0.0);
             prop_assert!(v <= r.remaining() + 0.25, "{:?}", r.job.id);
         }
+    }
+
+    #[test]
+    fn eager_and_efficient_conserve_planned_future_volume(
+        jobs in arb_jobset(8),
+        budget in 2.0f64..30.0,
+        now_ms in 0u64..300,
+        progress_frac in 0.0f64..0.9,
+    ) {
+        // Both realization modes must run exactly the trimmed future
+        // volumes step 1 promised — Eager at s_max with µs-rounded slice
+        // boundaries, Efficient through Energy-OPT. Per job and in total
+        // they may differ only by µs quantization of slice endpoints.
+        let now = SimTime::from_millis(now_ms);
+        let mut ready: Vec<ReadyJob> = jobs.iter().map(|&j| ReadyJob::fresh(j)).collect();
+        if let Some(first) = ready.iter_mut().find(|r| r.job.release <= now && r.job.deadline > now) {
+            first.processed = first.job.demand * progress_frac;
+        }
+        let eager = online_qe::online_qe_with_mode(now, &ready, &MODEL, budget, OnlineMode::Eager);
+        let eff = online_qe::online_qe_with_mode(now, &ready, &MODEL, budget, OnlineMode::Efficient);
+        prop_assert!(eager.discarded.is_empty() && eff.discarded.is_empty());
+        let ve = eager.schedule.volumes();
+        let vf = eff.schedule.volumes();
+        let mut te = 0.0;
+        let mut tf = 0.0;
+        for r in &ready {
+            let a = ve.get(&r.job.id).copied().unwrap_or(0.0);
+            let b = vf.get(&r.job.id).copied().unwrap_or(0.0);
+            te += a;
+            tf += b;
+            prop_assert!(
+                (a - b).abs() <= 0.25,
+                "{:?}: eager ran {} vs efficient {}", r.job.id, a, b
+            );
+        }
+        prop_assert!(
+            (te - tf).abs() <= 0.25 * (ready.len() as f64 + 1.0),
+            "total future volume diverged: eager {} vs efficient {}", te, tf
+        );
     }
 
     #[test]

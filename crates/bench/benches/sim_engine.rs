@@ -10,6 +10,12 @@
 //! behaviour) and `des-full` (grouped triggers, full recompute) rows
 //! ablate where the DES speedup comes from.
 //!
+//! The `sweep/sequential` and `sweep/parallel` rows measure the
+//! ⟨policy, rate⟩ experiment sweep (the loop behind every §V figure and
+//! the scorecard) at one lane vs this host's default lane count —
+//! their ratio is the rayon-shim thread-pool speedup, ~1.0 on a
+//! single-core runner and ≈ the core count on real hardware.
+//!
 //! Besides the usual criterion-style stdout report, this bench writes
 //! `BENCH_sim_engine.json` at the workspace root. Set
 //! `QES_BENCH_BASELINE=<path to a previous BENCH_sim_engine.json>` to
@@ -53,12 +59,18 @@ struct Sample {
     cores: usize,
     /// Extra key segment naming a non-default regime (e.g. "overload").
     variant: Option<&'static str>,
+    /// Explicit key overriding the `policy/jobs/cores` scheme (the
+    /// `sweep/*` rows, whose unit is points not jobs).
+    name: Option<&'static str>,
     wall_s: f64,
     jobs_per_sec: f64,
 }
 
 impl Sample {
     fn key(&self) -> String {
+        if let Some(n) = self.name {
+            return n.to_string();
+        }
         let base = format!("{}/{}_jobs/{}_cores", self.policy, self.jobs, self.cores);
         match self.variant {
             Some(v) => format!("{base}/{v}"),
@@ -133,8 +145,52 @@ fn run_config_at(
         jobs,
         cores,
         variant,
+        name: None,
         wall_s,
         jobs_per_sec: jobs as f64 / wall_s,
+    }
+}
+
+/// Measure the ⟨policy, rate⟩ experiment sweep at a fixed lane count:
+/// the data-parallel loop every §V figure and the scorecard run through.
+/// `jobs_per_sec` here counts *sweep points* per second; the
+/// `sweep/parallel` ÷ `sweep/sequential` ratio is the thread-pool
+/// speedup on this host (1.0 on a single-core runner — see the `cores`
+/// field for the lane count used).
+fn run_sweep_config(name: &'static str, threads: usize, reps: usize) -> Sample {
+    use qes_experiments::config::{ExperimentConfig, PolicyKind};
+    use qes_experiments::sweep::sweep;
+
+    // Big enough that one sequential pass takes ~1 s (so a 4-core
+    // speedup is far above timer noise), small enough for CI.
+    let base = ExperimentConfig::quick().with_sim_seconds(45.0);
+    let kinds = [
+        PolicyKind::Des,
+        PolicyKind::Fcfs,
+        PolicyKind::FcfsWf,
+        PolicyKind::Sjf,
+    ];
+    let rates = [40.0, 70.0, 100.0, 130.0, 160.0, 190.0, 220.0, 250.0];
+    let points = kinds.len() * rates.len();
+    let mut walls: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let pts = rayon::with_threads(threads, || sweep(&base, &kinds, &rates, 42));
+            let wall = t.elapsed().as_secs_f64();
+            assert_eq!(pts.len(), points, "sweep lost points");
+            wall
+        })
+        .collect();
+    walls.sort_by(|a, b| a.total_cmp(b));
+    let wall_s = walls[walls.len() / 2];
+    Sample {
+        policy: "sweep",
+        jobs: points,
+        cores: threads,
+        variant: None,
+        name: Some(name),
+        wall_s,
+        jobs_per_sec: points as f64 / wall_s,
     }
 }
 
@@ -213,6 +269,31 @@ fn bench_sim_engine(c: &mut Criterion) {
         );
         samples.push(s);
     }
+
+    // Thread-pool speedup of the experiment loop itself: the same sweep
+    // once at one lane (`QES_THREADS=1` semantics) and once at this
+    // host's default lane count. Determinism of the *results* across the
+    // two is enforced by tests/parallel_determinism.rs; this records the
+    // wall-clock win.
+    let seq = run_sweep_config("sweep/sequential", 1, 3);
+    println!(
+        "sim_engine/{}: {:.3} s  ({:.1} points/s)",
+        seq.key(),
+        seq.wall_s,
+        seq.jobs_per_sec
+    );
+    let lanes = rayon::current_num_threads().max(1);
+    let par = run_sweep_config("sweep/parallel", lanes, 3);
+    println!(
+        "sim_engine/{}: {:.3} s  ({:.1} points/s)  [{:.2}x over sequential, {} lanes]",
+        par.key(),
+        par.wall_s,
+        par.jobs_per_sec,
+        par.jobs_per_sec / seq.jobs_per_sec,
+        lanes
+    );
+    samples.push(seq);
+    samples.push(par);
 
     write_report(&samples, baseline.as_deref());
 }

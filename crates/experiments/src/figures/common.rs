@@ -49,18 +49,21 @@ impl PanelData {
     /// `target` quality (§V-E's throughput metric).
     pub fn throughput_at(&self, s: usize, target: f64) -> f64 {
         let q = &self.quality[s];
-        let mut best = None;
-        for i in 1..q.len() {
+        // Ends at or above target: the top of the grid sustains it, even
+        // if noise dipped the curve below target mid-sweep (a stale
+        // down-crossing would under-report the sustained rate).
+        if *q.last().unwrap() >= target {
+            return *self.rates.last().unwrap();
+        }
+        // Ends below target: interpolate the final ≥→< crossing.
+        for i in (1..q.len()).rev() {
             if q[i - 1] >= target && q[i] < target {
                 let t = (q[i - 1] - target) / (q[i - 1] - q[i]);
-                best = Some(self.rates[i - 1] + t * (self.rates[i] - self.rates[i - 1]));
+                return self.rates[i - 1] + t * (self.rates[i] - self.rates[i - 1]);
             }
         }
-        best.unwrap_or(if *q.last().unwrap() >= target {
-            *self.rates.last().unwrap()
-        } else {
-            *self.rates.first().unwrap()
-        })
+        // Never reached target at all: saturate at the bottom of the grid.
+        *self.rates.first().unwrap()
     }
 }
 
@@ -162,6 +165,19 @@ mod tests {
         );
         let expect = 300.0 + (0.92 - 0.9) / (0.92 - 0.70) * 100.0;
         assert!((d.throughput_at(0, 0.9) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_at_dip_and_recover_reports_top_sustained_rate() {
+        // The curve dips under the target mid-sweep but *ends* at or
+        // above it: the sustained rate is the top of the grid, not the
+        // stale down-crossing (regression; mirrors
+        // `sweep::throughput_dip_and_recover_returns_top_sustained_rate`).
+        let d = panel(
+            vec![100.0, 200.0, 300.0, 400.0],
+            vec![0.99, 0.85, 0.95, 0.93],
+        );
+        assert_eq!(d.throughput_at(0, 0.9), 400.0);
     }
 
     #[test]

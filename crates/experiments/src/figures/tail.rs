@@ -46,10 +46,11 @@ pub fn run(opt: &FigOptions) -> Vec<FigureReport> {
             };
             let mut policy = k.build(&cfg.power);
             let (_, _, stats) = Simulator::run_detailed(&sim_cfg, policy.as_mut(), &jobs);
-            let qs: Vec<f64> = [0.05, 0.25, 0.50, 0.75, 0.95]
-                .iter()
-                .map(|&p| stats.completion_quantile(p).unwrap_or(0.0))
-                .collect();
+            // One sort answers all five quantiles (the per-quantile
+            // getters would re-sort the outcomes on every call).
+            let qs: Vec<f64> = stats
+                .completion_quantiles(&[0.05, 0.25, 0.50, 0.75, 0.95])
+                .unwrap_or_else(|| vec![0.0; 5]);
             let spread = stats.utilization_spread();
             let mut cells = vec![i as f64];
             cells.extend(qs);

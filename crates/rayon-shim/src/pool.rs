@@ -1,0 +1,369 @@
+//! The global worker pool and the chunked, order-preserving batch
+//! executor behind [`crate::ParIter`] and [`crate::join`].
+//!
+//! # Design
+//!
+//! * **Pool sizing.** The lane count is `QES_THREADS` if set, else
+//!   `RAYON_NUM_THREADS`, else [`std::thread::available_parallelism`]
+//!   (read once, at first parallel use). `n` lanes means `n` concurrent
+//!   executors: the *calling* thread always participates, so at most
+//!   `n - 1` OS workers are spawned — lazily, on the first batch wide
+//!   enough to want them, and kept for the process lifetime.
+//!   `QES_THREADS=1` (or a single-core host) therefore never spawns a
+//!   thread — parallel calls degrade to plain sequential loops.
+//!   [`crate::with_threads`] overrides the lane count for a scope.
+//!
+//! * **Chunked, index-ordered execution.** A batch of `n` items is cut
+//!   into at most `lanes × CHUNKS_PER_LANE` contiguous chunks. Chunks
+//!   are claimed dynamically (an atomic cursor), so uneven per-item cost
+//!   load-balances, but every chunk knows its base index and writes its
+//!   results into a per-chunk slot; the caller concatenates the slots in
+//!   chunk order. Result order is thus *exactly* input order — the same
+//!   bits a sequential run produces — regardless of which worker ran
+//!   which chunk, because the per-item closure is applied to the same
+//!   `(index, item)` pairs either way.
+//!
+//! * **No deadlock by construction.** The caller never merely waits on
+//!   the pool: it claims and executes chunks itself until none remain.
+//!   A batch therefore completes even if every pool worker is busy with
+//!   other batches (including nested parallel calls from inside a
+//!   chunk), since the thread that owns the batch drains it alone in the
+//!   worst case.
+//!
+//! * **Panic propagation.** A panicking per-item closure is caught in
+//!   the worker, the batch still runs to completion (every claimed chunk
+//!   is finished or marked), and the first payload is re-raised on the
+//!   calling thread by [`std::panic::resume_unwind`] — matching rayon's
+//!   contract and keeping the pool's workers alive for the next batch.
+//!
+//! # Safety
+//!
+//! Help jobs sent to the pool capture an `Arc` of the batch state, which
+//! borrows the caller's stack (the closure and the items). The `'static`
+//! bound on the pool's job type is bridged with one `transmute`, sound
+//! because the caller blocks until every chunk has been claimed *and
+//! finished*: after that point a straggling help job can only observe an
+//! exhausted cursor and return without touching the borrowed closure or
+//! items, and the `Arc` keeps the (by then fully owned) allocation alive
+//! until the straggler drops its clone.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Upper bound on chunks handed to each concurrency lane. More chunks
+/// per lane means better load balance when per-item cost is uneven (a
+/// high-rate sweep point simulates far more jobs than a low-rate one) at
+/// slightly more claim/merge overhead.
+const CHUNKS_PER_LANE: usize = 4;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    injector: Sender<Job>,
+    /// Shared dequeue end; workers spawned on demand all drain it.
+    receiver: Arc<Mutex<Receiver<Job>>>,
+    /// How many OS workers exist so far. Workers are spawned lazily, up
+    /// to `lanes - 1` for the widest batch seen, and never torn down.
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static DEFAULT_LANES: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Scoped lane override installed by [`crate::with_threads`].
+    static LANE_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// Default lane count from the environment, read once at first parallel
+/// use: `QES_THREADS`, else `RAYON_NUM_THREADS`, else the hardware.
+fn configured_lanes() -> usize {
+    env_threads("QES_THREADS")
+        .or_else(|| env_threads("RAYON_NUM_THREADS"))
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the receiver lock only while dequeuing, never while running.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed: pool torn down (never in practice)
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = channel::<Job>();
+        Pool {
+            injector: tx,
+            receiver: Arc::new(Mutex::new(rx)),
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+impl Pool {
+    /// Guarantee at least `want` workers exist, so every queued help job
+    /// is eventually picked up (a queued job that never ran would leak
+    /// its batch handle).
+    fn ensure_workers(&self, want: usize) {
+        let mut n = self.spawned.lock().expect("spawn lock");
+        while *n < want {
+            let rx = Arc::clone(&self.receiver);
+            thread::Builder::new()
+                .name(format!("qes-par-{n}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawn pool worker");
+            *n += 1;
+        }
+    }
+}
+
+/// The number of concurrency lanes parallel calls on this thread use
+/// right now: the [`crate::with_threads`] override if one is in scope,
+/// else the environment/hardware default. A value of 1 never spawns a
+/// thread.
+pub(crate) fn effective_lanes() -> usize {
+    LANE_CAP
+        .with(Cell::get)
+        .unwrap_or_else(|| *DEFAULT_LANES.get_or_init(configured_lanes))
+}
+
+/// Total thread count parallel sections use (rayon's
+/// `current_num_threads`). Initializes the pool on first call.
+pub fn current_num_threads() -> usize {
+    effective_lanes()
+}
+
+/// Run `f` with parallel calls on this thread using exactly `n` lanes,
+/// overriding the environment/hardware default (raising it is allowed —
+/// oversubscription changes wall time, never results).
+///
+/// `with_threads(1, …)` executes every parallel call inside `f` on the
+/// calling thread, in index order — the same code path as
+/// `QES_THREADS=1` — which is what the determinism differential tests
+/// compare against the parallel path.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let n = n.max(1);
+    let prev = LANE_CAP.with(|c| c.replace(Some(n)));
+    // Restore on unwind too, so a panicking test body doesn't leak the
+    // cap into later tests on the same thread.
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LANE_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Shared state of one in-flight batch. `'static` only after the lifetime
+/// transmute in [`run_batch`]; see the module-level safety note.
+/// One claimable unit of work: `(base index, items)`, taken by the
+/// claiming worker.
+type Chunk<T> = Mutex<Option<(usize, Vec<T>)>>;
+
+struct Batch<T, O, F> {
+    f: F,
+    chunks: Vec<Chunk<T>>,
+    /// Claim cursor over `chunks`.
+    next: AtomicUsize,
+    /// Per-chunk results, written by whichever worker ran the chunk.
+    out: Vec<Mutex<Option<Vec<O>>>>,
+    /// Chunks finished (success or panic), guarded for the condvar.
+    done: Mutex<usize>,
+    all_done: Condvar,
+    /// First panic payload observed, re-raised on the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<T, O, F> Batch<T, O, F>
+where
+    F: Fn(usize, T) -> O,
+{
+    /// Claim and execute chunks until the cursor is exhausted.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.chunks.len() {
+                return;
+            }
+            let (base, items) = self.chunks[i]
+                .lock()
+                .expect("chunk lock")
+                .take()
+                .expect("chunk claimed twice");
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, x)| (self.f)(base + j, x))
+                    .collect::<Vec<O>>()
+            }));
+            match result {
+                Ok(v) => *self.out[i].lock().expect("out lock") = Some(v),
+                Err(payload) => {
+                    let mut slot = self.panic.lock().expect("panic lock");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            let mut done = self.done.lock().expect("done lock");
+            *done += 1;
+            if *done == self.chunks.len() {
+                self.all_done.notify_all();
+            }
+        }
+    }
+}
+
+/// Apply `f` to every `(index, item)` pair, in parallel, returning the
+/// results **in input order**. This is the single execution primitive the
+/// iterator adapters compile down to.
+pub(crate) fn run_batch<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(usize, T) -> O + Sync + Send,
+{
+    let n = items.len();
+    let lanes = if n > 1 { effective_lanes() } else { 1 };
+    if lanes <= 1 {
+        // Sequential reference path (`QES_THREADS=1`): same `(index,
+        // item)` applications, same order, no pool.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+
+    // Cut into contiguous chunks: small enough to load-balance uneven
+    // items, large enough to amortize claim overhead.
+    let chunk_len = n.div_ceil(lanes * CHUNKS_PER_LANE).max(1);
+    let mut chunks = Vec::with_capacity(n.div_ceil(chunk_len));
+    let mut items = items;
+    let mut base = 0usize;
+    while !items.is_empty() {
+        let take = chunk_len.min(items.len());
+        let rest = items.split_off(take);
+        chunks.push(Mutex::new(Some((base, items))));
+        base += take;
+        items = rest;
+    }
+    let chunk_count = chunks.len();
+
+    let batch = Arc::new(Batch {
+        f,
+        out: (0..chunk_count).map(|_| Mutex::new(None)).collect(),
+        chunks,
+        next: AtomicUsize::new(0),
+        done: Mutex::new(0),
+        all_done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    // Ask up to `lanes - 1` pool workers for help; the caller is the
+    // remaining lane. Idle workers pick these up immediately; busy ones
+    // find the cursor exhausted later and return — the caller drains
+    // whatever they don't.
+    let helpers = (lanes - 1).min(chunk_count.saturating_sub(1));
+    pool().ensure_workers(helpers);
+    for _ in 0..helpers {
+        let b = Arc::clone(&batch);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || b.work());
+        // SAFETY: see the module-level note — the caller blocks below
+        // until every chunk is finished, so the borrowed closure/items
+        // are only dereferenced while the caller's frame is live; a
+        // straggling job observes an exhausted cursor and exits.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        // Send can only fail if the pool was torn down, which never
+        // happens (static); fall back to doing the work locally.
+        if pool().injector.send(job).is_err() {
+            break;
+        }
+    }
+
+    batch.work();
+    let mut done = batch.done.lock().expect("done lock");
+    while *done < chunk_count {
+        done = batch.all_done.wait(done).expect("done wait");
+    }
+    drop(done);
+
+    if let Some(payload) = batch.panic.lock().expect("panic lock").take() {
+        resume_unwind(payload);
+    }
+
+    let mut result = Vec::with_capacity(n);
+    for slot in &batch.out {
+        result.extend(
+            slot.lock()
+                .expect("out lock")
+                .take()
+                .expect("chunk finished without result"),
+        );
+    }
+    result
+}
+
+/// Run the two closures, potentially in parallel, and return both
+/// results (mirror of `rayon::join`).
+///
+/// `oper_b` runs on a scoped thread rather than the pool: `join` callers
+/// want both sides started unconditionally, and a scoped thread cannot
+/// deadlock against pool workers that are themselves blocked in nested
+/// `join`s. With one lane both closures run sequentially on the caller.
+/// A panic in either closure propagates to the caller after both have
+/// finished.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if effective_lanes() <= 1 {
+        return (oper_a(), oper_b());
+    }
+    thread::scope(|s| {
+        let hb = s.spawn(oper_b);
+        let ra = catch_unwind(AssertUnwindSafe(oper_a));
+        let rb = hb.join(); // Err(payload) if `oper_b` panicked
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(payload), _) => resume_unwind(payload),
+            (_, Err(payload)) => resume_unwind(payload),
+        }
+    })
+}

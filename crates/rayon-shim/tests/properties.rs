@@ -1,0 +1,68 @@
+//! Property tests for the parallel executor's two load-bearing
+//! guarantees: `collect()` preserves input order bit-for-bit at any lane
+//! count, and a panicking closure propagates to the caller instead of
+//! deadlocking or poisoning the pool.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::with_threads;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_collect_preserves_input_order(
+        v in proptest::collection::vec(0u64..1_000_000, 0..300),
+        threads in 1usize..9,
+    ) {
+        let expect: Vec<u64> = v.iter().map(|&x| x.wrapping_mul(2654435761) ^ x).collect();
+        let got: Vec<u64> = with_threads(threads, || {
+            v.par_iter().map(|&x| x.wrapping_mul(2654435761) ^ x).collect()
+        });
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn enumerate_indices_are_input_positions(
+        len in 0usize..200,
+        threads in 2usize..9,
+    ) {
+        let v: Vec<u32> = (0..len as u32).map(|i| i * 7 + 3).collect();
+        let got: Vec<(usize, u32)> = with_threads(threads, || {
+            v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect()
+        });
+        prop_assert_eq!(got.len(), len);
+        for (k, &(i, x)) in got.iter().enumerate() {
+            prop_assert_eq!(i, k);
+            prop_assert_eq!(x, v[k]);
+        }
+    }
+
+    #[test]
+    fn panicking_closure_propagates_and_pool_stays_usable(
+        len in 1usize..150,
+        seed in 0u64..1000,
+        threads in 2usize..9,
+    ) {
+        let bomb = (seed as usize) % len;
+        let r = std::panic::catch_unwind(|| {
+            with_threads(threads, || {
+                (0..len)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == bomb {
+                            panic!("bomb at {i}");
+                        }
+                        i * 2
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        prop_assert!(r.is_err(), "panic at index {} must reach the caller", bomb);
+        // The next batch on the same pool must complete normally — the
+        // panic neither deadlocked workers nor wedged the queue.
+        let after: Vec<usize> =
+            with_threads(threads, || (0..len).into_par_iter().map(|i| i + 1).collect());
+        prop_assert_eq!(after, (1..=len).collect::<Vec<_>>());
+    }
+}

@@ -100,17 +100,36 @@ impl DetailedStats {
     /// The `p`-quantile (0 ≤ p ≤ 1) of per-job quality, by linear
     /// interpolation; `None` with no jobs.
     pub fn quality_quantile(&self, p: f64) -> Option<f64> {
-        quantile(self.outcomes.iter().map(|o| o.quality), p)
+        self.quality_quantiles(&[p]).map(|v| v[0])
     }
 
     /// The `p`-quantile of per-job completion fraction.
     pub fn completion_quantile(&self, p: f64) -> Option<f64> {
-        quantile(self.outcomes.iter().map(|o| o.completion()), p)
+        self.completion_quantiles(&[p]).map(|v| v[0])
     }
 
     /// The `p`-quantile of response time in seconds.
     pub fn response_quantile(&self, p: f64) -> Option<f64> {
-        quantile(self.outcomes.iter().map(|o| o.response_secs()), p)
+        self.response_quantiles(&[p]).map(|v| v[0])
+    }
+
+    /// All requested quantiles of per-job quality from **one** sort of
+    /// the outcomes (the single-quantile getters re-sort per call);
+    /// `None` with no jobs.
+    pub fn quality_quantiles(&self, ps: &[f64]) -> Option<Vec<f64>> {
+        quantiles(self.outcomes.iter().map(|o| o.quality), ps)
+    }
+
+    /// All requested quantiles of per-job completion fraction, sorting
+    /// once.
+    pub fn completion_quantiles(&self, ps: &[f64]) -> Option<Vec<f64>> {
+        quantiles(self.outcomes.iter().map(|o| o.completion()), ps)
+    }
+
+    /// All requested quantiles of response time in seconds, sorting
+    /// once.
+    pub fn response_quantiles(&self, ps: &[f64]) -> Option<Vec<f64>> {
+        quantiles(self.outcomes.iter().map(|o| o.response_secs()), ps)
     }
 
     /// Mean per-job quality.
@@ -122,18 +141,24 @@ impl DetailedStats {
     }
 }
 
-fn quantile(values: impl Iterator<Item = f64>, p: f64) -> Option<f64> {
+/// Collect, sort once, and answer every requested quantile by linear
+/// interpolation. `None` when there are no values.
+fn quantiles(values: impl Iterator<Item = f64>, ps: &[f64]) -> Option<Vec<f64>> {
     let mut v: Vec<f64> = values.collect();
     if v.is_empty() {
         return None;
     }
     v.sort_by(f64::total_cmp);
+    Some(ps.iter().map(|&p| quantile_of_sorted(&v, p)).collect())
+}
+
+fn quantile_of_sorted(v: &[f64], p: f64) -> f64 {
     let p = p.clamp(0.0, 1.0);
     let pos = p * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    Some(v[lo] + frac * (v[hi] - v[lo]))
+    v[lo] + frac * (v[hi] - v[lo])
 }
 
 #[cfg(test)]
@@ -163,6 +188,34 @@ mod tests {
         assert!((s.quality_quantile(0.25).unwrap() - 0.3).abs() < 1e-12);
         assert!((s.response_quantile(0.5).unwrap() - 0.020).abs() < 1e-9);
         assert!((s.mean_quality() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_quantile_matches_single_calls() {
+        let mut s = DetailedStats::new(2, SimTime::from_secs(1));
+        for &(q, done, r) in &[
+            (0.1, 30.0, 10u64),
+            (0.5, 60.0, 20),
+            (0.9, 90.0, 30),
+            (0.3, 40.0, 40),
+            (0.7, 80.0, 50),
+        ] {
+            s.record(outcome(q, done, 100.0, r));
+        }
+        let ps = [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0];
+        let many = s.quality_quantiles(&ps).unwrap();
+        for (i, &p) in ps.iter().enumerate() {
+            assert_eq!(many[i], s.quality_quantile(p).unwrap(), "p = {p}");
+        }
+        let comp = s.completion_quantiles(&ps).unwrap();
+        let resp = s.response_quantiles(&ps).unwrap();
+        for (i, &p) in ps.iter().enumerate() {
+            assert_eq!(comp[i], s.completion_quantile(p).unwrap());
+            assert_eq!(resp[i], s.response_quantile(p).unwrap());
+        }
+        // Quantiles of a sorted-once vector are monotone in p.
+        assert!(many.windows(2).all(|w| w[0] <= w[1]));
+        assert!(s.quality_quantiles(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -134,7 +134,7 @@ fn run_config_at(
             let t = Instant::now();
             let (report, _) = Simulator::run(&cfg, p.as_mut(), &trace);
             let wall = t.elapsed().as_secs_f64();
-            assert_eq!(report.jobs_total, jobs, "engine lost jobs");
+            assert_eq!(report.jobs_total(), jobs, "engine lost jobs");
             wall
         })
         .collect();
@@ -148,6 +148,83 @@ fn run_config_at(
         name: None,
         wall_s,
         jobs_per_sec: jobs as f64 / wall_s,
+    }
+}
+
+/// The headline DES configuration through the *observed* entry point:
+/// with an explicit [`NoopObserver`] (`traced-off` — must match the
+/// plain row within noise) or a live [`TraceObserver`] (`traced-on`).
+fn run_traced_config(variant: &'static str, jobs: usize, cores: usize, reps: usize) -> Sample {
+    use qes_core::{NoopObserver, TraceObserver};
+    let trace = WebSearchWorkload::new(arrival_rate_at(UTILIZATION, cores))
+        .generate_exact(jobs, 42)
+        .expect("bench workload generates");
+    let end = trace.last_deadline().expect("non-empty trace");
+    let mut walls: Vec<f64> = (0..reps)
+        .map(|_| {
+            let cfg = SimConfig {
+                num_cores: cores,
+                budget: 40.0 * cores as f64,
+                model: &MODEL,
+                quality: &QUALITY,
+                end,
+                record_trace: false,
+                overhead: SimDuration::ZERO,
+            };
+            let mut p = DesPolicy::new();
+            let t = Instant::now();
+            let (report, _) = if variant == "traced-on" {
+                let mut obs = TraceObserver::new();
+                Simulator::run_observed(&cfg, &mut p, &trace, &mut obs)
+            } else {
+                Simulator::run_observed(&cfg, &mut p, &trace, &mut NoopObserver)
+            };
+            let wall = t.elapsed().as_secs_f64();
+            assert_eq!(report.jobs_total(), jobs, "engine lost jobs");
+            wall
+        })
+        .collect();
+    walls.sort_by(|a, b| a.total_cmp(b));
+    let wall_s = walls[walls.len() / 2];
+    Sample {
+        policy: "des",
+        jobs,
+        cores,
+        variant: Some(variant),
+        name: None,
+        wall_s,
+        jobs_per_sec: jobs as f64 / wall_s,
+    }
+}
+
+/// One registry-observed run at a small configuration, exported as
+/// `BENCH_sim_metrics.json` next to the throughput report: the named
+/// counters a bench consumer can diff across commits.
+fn write_metrics_snapshot() {
+    use qes_core::MetricsRegistry;
+    let jobs = 10_000;
+    let trace = WebSearchWorkload::new(arrival_rate_at(UTILIZATION, 8))
+        .generate_exact(jobs, 42)
+        .expect("bench workload generates");
+    let end = trace.last_deadline().expect("non-empty trace");
+    let cfg = SimConfig {
+        num_cores: 8,
+        budget: 320.0,
+        model: &MODEL,
+        quality: &QUALITY,
+        end,
+        record_trace: false,
+        overhead: SimDuration::ZERO,
+    };
+    let mut p = DesPolicy::new();
+    let mut reg = MetricsRegistry::new();
+    let (report, _) = Simulator::run_observed(&cfg, &mut p, &trace, &mut reg);
+    report.export_metrics(&mut reg);
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_sim_metrics.json");
+    match std::fs::write(&path, reg.to_json()) {
+        Ok(()) => println!("sim_engine: wrote {path}"),
+        Err(e) => eprintln!("sim_engine: could not write {path}: {e}"),
     }
 }
 
@@ -269,6 +346,29 @@ fn bench_sim_engine(c: &mut Criterion) {
         );
         samples.push(s);
     }
+
+    // Observability rows at the headline grid point. `traced-off` runs
+    // the generic observed path with an explicit `NoopObserver` — its
+    // rate vs the plain `des/100k_jobs/8_cores` row is the compile-out
+    // guarantee (≤ 2 % apart). `traced-on` pays for a live
+    // `TraceObserver` ring buffer.
+    for variant in ["traced-off", "traced-on"] {
+        let s = run_traced_config(variant, 100_000, 8, 3);
+        let speedup = baseline
+            .as_deref()
+            .and_then(|b| baseline_rate(b, &s.key()))
+            .map(|base| format!("  [{:.2}x vs baseline]", s.jobs_per_sec / base))
+            .unwrap_or_default();
+        println!(
+            "sim_engine/{}: {:.3} s  ({:.0} jobs/s){}",
+            s.key(),
+            s.wall_s,
+            s.jobs_per_sec,
+            speedup
+        );
+        samples.push(s);
+    }
+    write_metrics_snapshot();
 
     // Thread-pool speedup of the experiment loop itself: the same sweep
     // once at one lane (`QES_THREADS=1` semantics) and once at this

@@ -97,6 +97,21 @@ impl NodeMeterArray {
 
     /// Measure the trace per node; returns per-node energies.
     pub fn measure(&self, trace: &SimTrace, spec: &ClusterSpec, end: SimTime) -> Vec<f64> {
+        self.measure_observed(trace, spec, end, &mut qes_core::NoopObserver)
+    }
+
+    /// [`measure`](Self::measure) with an observer: each node's meter
+    /// reports its perturbed power samples as
+    /// [`PowerSample`](qes_core::obs::Event::PowerSample) events tagged
+    /// with the node index. Identical energies to the plain call — the
+    /// hook only *reads* the samples.
+    pub fn measure_observed<O: qes_core::Observer>(
+        &self,
+        trace: &SimTrace,
+        spec: &ClusterSpec,
+        end: SimTime,
+        obs: &mut O,
+    ) -> Vec<f64> {
         // Index slices per node.
         let mut per_node: Vec<Vec<(SimTime, SimTime, f64)>> = vec![Vec::new(); spec.nodes];
         for s in trace.slices() {
@@ -118,20 +133,26 @@ impl NodeMeterArray {
                     self.meter.seed.wrapping_mul(31).wrapping_add(node as u64),
                 );
                 let slices = &per_node[node];
-                meter.measure(end, |t| {
-                    if self.dropout > 0.0 && drop_rng.gen::<f64>() < self.dropout {
-                        return 0.0; // sample lost
-                    }
-                    // Count busy cores and their draw; idle cores draw the
-                    // static floor.
-                    let busy: Vec<f64> = slices
-                        .iter()
-                        .filter(|&&(a, b, _)| a <= t && t < b)
-                        .map(|&(_, _, sp)| spec.core_power(sp))
-                        .collect();
-                    let idle_cores = spec.cores_per_node.saturating_sub(busy.len());
-                    busy.iter().sum::<f64>() + idle_cores as f64 * spec.idle_power
-                })
+                meter.measure_window_observed(
+                    node as u32,
+                    SimTime::ZERO,
+                    end,
+                    |t| {
+                        if self.dropout > 0.0 && drop_rng.gen::<f64>() < self.dropout {
+                            return 0.0; // sample lost
+                        }
+                        // Count busy cores and their draw; idle cores draw the
+                        // static floor.
+                        let busy: Vec<f64> = slices
+                            .iter()
+                            .filter(|&&(a, b, _)| a <= t && t < b)
+                            .map(|&(_, _, sp)| spec.core_power(sp))
+                            .collect();
+                        let idle_cores = spec.cores_per_node.saturating_sub(busy.len());
+                        busy.iter().sum::<f64>() + idle_cores as f64 * spec.idle_power
+                    },
+                    obs,
+                )
             })
             .collect()
     }
@@ -251,6 +272,26 @@ mod tests {
             e_flaky < 0.85 * e_healthy,
             "30% dropout should undercount: {e_flaky} vs {e_healthy}"
         );
+    }
+
+    #[test]
+    fn observed_node_measurement_is_identical_and_tags_nodes() {
+        use qes_core::MetricsRegistry;
+        let s = spec();
+        let end = SimTime::from_secs(1);
+        let m = NodeMeterArray::healthy(PowerMeter::default());
+        let plain = m.measure(&trace(), &s, end);
+        let mut reg = MetricsRegistry::new();
+        let observed = m.measure_observed(&trace(), &s, end, &mut reg);
+        assert_eq!(plain.len(), observed.len());
+        for (a, b) in plain.iter().zip(&observed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Default meter: 100 ms period over 1 s = 10 samples × 2 nodes.
+        assert_eq!(reg.counter("cluster.power.samples"), 20);
+        // Both nodes left a last-sample gauge.
+        assert!(reg.gauge("cluster.node0.last_watts").is_some());
+        assert!(reg.gauge("cluster.node1.last_watts").is_some());
     }
 
     #[test]

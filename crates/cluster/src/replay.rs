@@ -19,15 +19,29 @@ use crate::spec::ClusterSpec;
 /// Exact energy (J) of executing `trace` on `cluster` over `[0, end)`:
 /// per-core table power while a slice runs, idle power otherwise.
 pub fn exact_energy(trace: &SimTrace, cluster: &ClusterSpec, end: SimTime) -> f64 {
-    let horizon = end.as_secs_f64();
+    exact_energy_window(trace, cluster, SimTime::ZERO, end)
+}
+
+/// Exact energy (J) over the replay window `[start, end)` only. Slices
+/// straddling a boundary contribute exactly the part inside the window,
+/// and the idle floor covers only the window's span — so adjacent
+/// windows partition [`exact_energy`] with no double counting.
+pub fn exact_energy_window(
+    trace: &SimTrace,
+    cluster: &ClusterSpec,
+    start: SimTime,
+    end: SimTime,
+) -> f64 {
+    let horizon = end.saturating_since(start).as_secs_f64();
     let mut busy_energy = 0.0;
     let mut busy_secs = 0.0;
     for s in trace.slices() {
         if s.start >= end {
             continue;
         }
+        let from = s.start.max(start);
         let stop = s.end.min(end);
-        let secs = stop.saturating_since(s.start).as_secs_f64();
+        let secs = stop.saturating_since(from).as_secs_f64();
         busy_energy += cluster.core_power(s.speed) * secs;
         busy_secs += secs;
     }
@@ -40,6 +54,20 @@ pub fn exact_energy(trace: &SimTrace, cluster: &ClusterSpec, end: SimTime) -> f6
 pub fn measured_energy(
     trace: &SimTrace,
     cluster: &ClusterSpec,
+    end: SimTime,
+    meter: &PowerMeter,
+) -> f64 {
+    measured_energy_window(trace, cluster, SimTime::ZERO, end, meter)
+}
+
+/// Measured energy (J) over the replay window `[start, end)`: the meter
+/// free-runs from `t = 0` (grid and noise stream anchored there, see
+/// [`PowerMeter::measure_window`]) and only the in-window part of each
+/// sample interval is integrated.
+pub fn measured_energy_window(
+    trace: &SimTrace,
+    cluster: &ClusterSpec,
+    start: SimTime,
     end: SimTime,
     meter: &PowerMeter,
 ) -> f64 {
@@ -60,7 +88,7 @@ pub fn measured_energy(
             _ => 0.0,
         }
     };
-    meter.measure(end, |t| {
+    meter.measure_window(start, end, |t| {
         per_core
             .iter()
             .map(|slices| cluster.core_power(speed_at(slices, t)))
@@ -172,6 +200,43 @@ mod tests {
         let c = tiny_cluster();
         let e = exact_energy(&SimTrace::default(), &c, SimTime::from_secs(1));
         assert!((e - 2.0 * 9.2562).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_window_clips_slices_at_both_boundaries() {
+        let c = tiny_cluster();
+        // A 2 s slice at 2.5 GHz; the window [500, 1500) ms sees 1 s of it.
+        let t = trace_one_slice(0, 0, 2000, 2.5);
+        let e = exact_energy_window(&t, &c, ms(500), ms(1500));
+        // Busy: 22.69 × 1 s. Idle: (2 cores × 1 s − 1 busy core-s) × 9.2562.
+        let expect = 22.69 + 1.0 * 9.2562;
+        assert!((e - expect).abs() < 1e-9, "{e} vs {expect}");
+        // Adjacent windows partition the full-range integral.
+        let whole = exact_energy(&t, &c, SimTime::from_secs(3));
+        let parts = exact_energy_window(&t, &c, SimTime::ZERO, ms(700))
+            + exact_energy_window(&t, &c, ms(700), ms(2100))
+            + exact_energy_window(&t, &c, ms(2100), SimTime::from_secs(3));
+        assert!((whole - parts).abs() < 1e-9, "{whole} vs {parts}");
+    }
+
+    #[test]
+    fn measured_window_clips_partial_samples_to_closed_form() {
+        let c = tiny_cluster();
+        // Empty trace: both cores idle at 9.2562 W, so total power is a
+        // constant 18.5124 W and the integral has a closed form. The
+        // 300 ms sampling grid is cut mid-sample at 100 ms: the window
+        // [100, 1000) ms must integrate 0.9 s, not 1.0 s.
+        let meter = PowerMeter {
+            sample_period: qes_core::SimDuration::from_millis(300),
+            noise_std: 0.0,
+            overhead: 0.0,
+            seed: 0,
+        };
+        let e = measured_energy_window(&SimTrace::default(), &c, ms(100), ms(1000), &meter);
+        let expect = 0.9 * 2.0 * 9.2562;
+        assert!((e - expect).abs() < 1e-9, "{e} vs {expect}");
+        let exact = exact_energy_window(&SimTrace::default(), &c, ms(100), ms(1000));
+        assert!((e - exact).abs() < 1e-9, "{e} vs exact {exact}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod error;
 pub mod gantt;
 pub mod job;
 pub mod metric;
+pub mod obs;
 pub mod piecewise;
 pub mod power;
 pub mod quality;
@@ -38,6 +39,10 @@ pub use error::QesError;
 pub use gantt::{render_gantt, GanttOptions};
 pub use job::{Job, JobId, JobSet};
 pub use metric::QualityEnergy;
+pub use obs::{
+    DequeueKind, Event, MetricsRegistry, NoopObserver, Observer, SettleOutcome, TraceObserver,
+    TriggerCause,
+};
 pub use piecewise::PiecewiseLinearQuality;
 pub use power::{DiscreteSpeedSet, PolynomialPower, PowerModel};
 pub use quality::{ExpQuality, LinearQuality, LogQuality, QualityFunction, StepQuality};

@@ -223,7 +223,22 @@ fn run_inner(
         (PolicyKind::DesDiscrete, Some(l)) => Box::new(DesPolicy::with_discrete(l.clone())),
         _ => kind.build(&cfg.power),
     };
-    let (mut report, trace) = Simulator::run(&sim_cfg, policy.as_mut(), &jobs);
+    // `QES_TRACE=path` turns event tracing on for any figure or sweep run
+    // without code changes. Observers are passive — the traced run is
+    // bitwise-identical to the untraced one (tests/observability.rs pins
+    // this) — so results are unaffected either way.
+    let (mut report, trace) = match std::env::var("QES_TRACE") {
+        Ok(path) if !path.is_empty() => {
+            let mut obs = qes_core::TraceObserver::new();
+            let out = Simulator::run_observed(&sim_cfg, policy.as_mut(), &jobs, &mut obs);
+            let label = format!("{} seed={seed} rate={}", kind.name(), cfg.arrival_rate);
+            if let Err(e) = obs.append_csv(&path, &label) {
+                eprintln!("QES_TRACE: could not append to {path}: {e}");
+            }
+            out
+        }
+        _ => Simulator::run(&sim_cfg, policy.as_mut(), &jobs),
+    };
     report.policy = kind.name().to_string();
     (report, trace)
 }
@@ -291,7 +306,7 @@ mod tests {
         let b = run_policy(&cfg, PolicyKind::Des, 7);
         assert_eq!(a.total_quality, b.total_quality);
         assert_eq!(a.energy_joules, b.energy_joules);
-        assert_eq!(a.jobs_total, b.jobs_total);
+        assert_eq!(a.jobs_total(), b.jobs_total());
     }
 
     #[test]

@@ -41,7 +41,14 @@ fn run_with_triggers_overhead(
     };
     let mut policy = DesPolicy::new().with_triggers(trig);
     let (rep, _) = Simulator::run(&sim_cfg, &mut policy, &jobs);
-    (rep.normalized_quality(), rep.energy_joules, rep.invocations)
+    // Scheduling overhead is paid on every wakeup, whether or not the
+    // decision changed anything — report wakeups, not just the
+    // state-changing invocations.
+    (
+        rep.normalized_quality(),
+        rep.energy_joules,
+        rep.counters.wakeups(),
+    )
 }
 
 /// Sweep the §IV-E trigger parameters at a moderately heavy load.

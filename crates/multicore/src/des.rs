@@ -31,7 +31,7 @@ use crate::arch::{fixed_speed_plan, ArchKind};
 use crate::crr::CrrDistributor;
 use crate::discrete::{rectify_speeds, snap_plan_up};
 use crate::policy::{PolicyDecision, SchedulingPolicy, SystemView, TriggerRequest};
-use crate::water_filling::{water_filling, WaterFillingCache};
+use crate::water_filling::{water_filling_with_rounds, WaterFillingCache};
 
 /// How DES distributes ready jobs to cores (ablation knob; the paper's
 /// design is [`JobSharing::Crr`], §IV-B).
@@ -181,6 +181,40 @@ impl CoreQe {
     }
 }
 
+/// Always-on observability counters for [`DesPolicy`]: plain integer
+/// adds on paths that already branch, far too cheap to gate. Drained
+/// through [`SchedulingPolicy::metrics`] at the end of an observed run
+/// (unobserved runs simply never read them).
+#[derive(Clone, Debug, Default)]
+struct DesStats {
+    /// `on_trigger` calls.
+    triggers: u64,
+    /// Queued jobs dealt to cores (C-RR step 1).
+    jobs_dealt: u64,
+    /// Invocations resolved by the step-2 early exit (Σ requests ≤ H).
+    free_exits: u64,
+    /// Invocations that ran the budget-bounded steps 3–4.
+    budget_bound: u64,
+    /// Cores resolved by the keep-plan rule.
+    keeps: u64,
+    /// Cores whose plan was reused from the per-core memo.
+    cache_hits: u64,
+    /// Cores whose plan was recomputed (free or granted).
+    cache_misses: u64,
+    /// Fresh budget-free Energy-OPT materializations.
+    free_solves: u64,
+    /// Fresh budget-bounded Online-QE solves.
+    qe_solves: u64,
+    /// Jobs the §V-D discard loop abandoned.
+    discards: u64,
+    /// Water-filling peel/level passes run outside the cache
+    /// ([`RecomputeMode::Full`] only; cached modes count in
+    /// [`WaterFillingCache`]).
+    wf_levelings: u64,
+    /// Peeling rounds across those passes.
+    wf_rounds: u64,
+}
+
 /// The DES scheduling policy.
 #[derive(Clone, Debug)]
 pub struct DesPolicy {
@@ -207,6 +241,8 @@ pub struct DesPolicy {
     qe_scratch: QeSolver,
     /// Sort buffer for [`CoreQe::update`].
     sort_scratch: Vec<ReadyJob>,
+    /// Observability counters (see [`DesStats`]).
+    stats: DesStats,
 }
 
 impl DesPolicy {
@@ -232,6 +268,7 @@ impl DesPolicy {
             core_qe: Vec::new(),
             qe_scratch: QeSolver::default(),
             sort_scratch: Vec::new(),
+            stats: DesStats::default(),
         }
     }
 
@@ -289,7 +326,10 @@ impl DesPolicy {
                 if self.recompute.caches() {
                     self.wf_cache.grants(requests, budget).to_vec()
                 } else {
-                    water_filling(requests, budget)
+                    let (grants, rounds) = water_filling_with_rounds(requests, budget);
+                    self.stats.wf_levelings += 1;
+                    self.stats.wf_rounds += rounds;
+                    grants
                 }
             }
             PowerSharing::StaticEqual => vec![budget / m as f64; m],
@@ -405,6 +445,7 @@ impl SchedulingPolicy for DesPolicy {
     fn on_trigger(&mut self, view: &SystemView<'_>) -> PolicyDecision {
         let m = view.num_cores();
         let now = view.now;
+        self.stats.triggers += 1;
 
         // Step 1: C-RR distribution of the waiting queue.
         let live_queue: Vec<&ReadyJob> = view
@@ -426,6 +467,7 @@ impl SchedulingPolicy for DesPolicy {
             assignments.push((r.job.id, core));
             extra[core].push(**r);
         }
+        self.stats.jobs_dealt += assignments.len() as u64;
         // One core's live set (current jobs + newly dealt), borrowed.
         let live_iter = |c: usize| view.cores[c].live_jobs(now).chain(extra[c].iter().copied());
         // The same set materialized in canonical (deadline, id) order for
@@ -524,6 +566,7 @@ impl SchedulingPolicy for DesPolicy {
                     None if total <= view.budget => {
                         // Step 2 early exit: the unconstrained schedules
                         // already fit the budget and complete every job.
+                        self.stats.free_exits += 1;
                         for c in 0..m {
                             // Keep rule — shared by every recompute mode,
                             // so it is part of the decision procedure,
@@ -536,6 +579,7 @@ impl SchedulingPolicy for DesPolicy {
                             // so a recompute could only re-derive what is
                             // already installed.
                             if self.free_streak[c] && extra[c].is_empty() && view.cores[c].busy {
+                                self.stats.keeps += 1;
                                 plans.push(None);
                                 continue;
                             }
@@ -569,9 +613,12 @@ impl SchedulingPolicy for DesPolicy {
                                 clean(&self.memo[c], sig)
                             };
                             if inc && self.memo[c].key == Some(PlanKey::Free) && reusable {
+                                self.stats.cache_hits += 1;
                                 plans.push(Some(self.memo[c].plan.clone()));
                                 continue;
                             }
+                            self.stats.cache_misses += 1;
+                            self.stats.free_solves += 1;
                             let plan = if iqe {
                                 Self::free_schedule(view, &self.core_qe[c].jobs)
                             } else {
@@ -595,6 +642,7 @@ impl SchedulingPolicy for DesPolicy {
                         // Steps 3–4: distribute power, then Online-QE per
                         // core. The budget binds here, so the grant is
                         // spent eagerly by default (see `OnlineMode`).
+                        self.stats.budget_bound += 1;
                         for (c, &grant) in grants.iter().enumerate() {
                             self.free_streak[c] = false;
                             let empty = if iqe {
@@ -637,9 +685,12 @@ impl SchedulingPolicy for DesPolicy {
                                 // A reused plan had no discards: any
                                 // discard would have been settled by the
                                 // engine, changing the live set.
+                                self.stats.cache_hits += 1;
                                 plans.push(Some(self.memo[c].plan.clone()));
                                 continue;
                             }
+                            self.stats.cache_misses += 1;
+                            self.stats.qe_solves += 1;
                             let out = if iqe {
                                 let CoreQe { jobs, solver, .. } = &mut self.core_qe[c];
                                 solver.solve(now, jobs, view.model, grant, self.mode)
@@ -676,6 +727,7 @@ impl SchedulingPolicy for DesPolicy {
                         self.free_streak.fill(false);
                         let speeds = rectify_speeds(&grants, set, view.model, view.budget);
                         for (c, &cap) in speeds.iter().enumerate() {
+                            self.stats.qe_solves += 1;
                             let grant = view.model.dynamic_power(cap);
                             let out = self.qe_scratch.solve(
                                 now,
@@ -692,12 +744,35 @@ impl SchedulingPolicy for DesPolicy {
             }
         }
 
+        self.stats.discards += discarded.len() as u64;
         PolicyDecision {
             assignments,
             plans,
             discarded,
             ambient_speeds: ambient,
         }
+    }
+
+    fn metrics(&self, sink: &mut dyn FnMut(&'static str, u64)) {
+        let s = &self.stats;
+        sink("des.triggers", s.triggers);
+        sink("des.jobs_dealt", s.jobs_dealt);
+        sink("des.free_exits", s.free_exits);
+        sink("des.budget_bound", s.budget_bound);
+        sink("des.keep_plan", s.keeps);
+        sink("des.cache_hit", s.cache_hits);
+        sink("des.cache_miss", s.cache_misses);
+        sink("des.free_solve", s.free_solves);
+        sink("des.qe_solve", s.qe_solves);
+        sink("des.discards", s.discards);
+        // Water-filling work: cached modes level inside the cache, Full
+        // levels directly — merge both views into one pair of counters.
+        sink("des.wf_hits", self.wf_cache.hits());
+        sink(
+            "des.wf_levelings",
+            s.wf_levelings + self.wf_cache.levelings(),
+        );
+        sink("des.wf_rounds", s.wf_rounds + self.wf_cache.rounds());
     }
 }
 

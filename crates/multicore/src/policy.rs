@@ -170,6 +170,15 @@ pub trait SchedulingPolicy {
     /// trigger; the engine has already advanced all progress to
     /// `view.now`.
     fn on_trigger(&mut self, view: &SystemView<'_>) -> PolicyDecision;
+
+    /// Drain policy-internal observability counters into `sink` as
+    /// `(name, monotonic value)` pairs. The engine calls this once at the
+    /// end of an observed run and forwards each pair as a
+    /// `PolicyCounter` event (`qes_core::obs`); unobserved runs never
+    /// call it. Names should be stable, dot-separated, and prefixed with
+    /// the policy family (e.g. `des.cache_hit`). The default reports
+    /// nothing.
+    fn metrics(&self, _sink: &mut dyn FnMut(&'static str, u64)) {}
 }
 
 #[cfg(test)]

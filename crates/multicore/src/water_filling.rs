@@ -24,11 +24,20 @@
 /// * any two cores whose requests exceed the final water level receive
 ///   the same grant (the level).
 pub fn water_filling(requests: &[f64], budget: f64) -> Vec<f64> {
+    water_filling_with_rounds(requests, budget).0
+}
+
+/// [`water_filling`] that also reports how many peeling rounds the loop
+/// ran (0 when the inputs are degenerate or every request is satisfiable
+/// without peeling past round one). Observability hook: DES exports the
+/// accumulated round count as `des.wf_rounds`.
+pub fn water_filling_with_rounds(requests: &[f64], budget: f64) -> (Vec<f64>, u64) {
     let m = requests.len();
     let mut grant = vec![0.0; m];
     if m == 0 || budget <= 0.0 {
-        return grant;
+        return (grant, 0);
     }
+    let mut rounds = 0u64;
     // Outstanding (not yet granted) request per unsatisfied core.
     let mut rest: Vec<f64> = requests.iter().map(|&h| h.max(0.0)).collect();
     let mut remaining = budget;
@@ -37,6 +46,7 @@ pub fn water_filling(requests: &[f64], budget: f64) -> Vec<f64> {
         if unsat.is_empty() || remaining <= 1e-12 {
             break;
         }
+        rounds += 1;
         let h_min = unsat.iter().map(|&i| rest[i]).fold(f64::INFINITY, f64::min);
         let k = unsat.len() as f64;
         if h_min * k >= remaining {
@@ -56,7 +66,7 @@ pub fn water_filling(requests: &[f64], budget: f64) -> Vec<f64> {
         }
         remaining -= h_min * k;
     }
-    grant
+    (grant, rounds)
 }
 
 /// Incremental entry point to [`water_filling`]: caches the last solve
@@ -71,6 +81,9 @@ pub struct WaterFillingCache {
     budget: f64,
     grants: Vec<f64>,
     valid: bool,
+    hits: u64,
+    levelings: u64,
+    rounds: u64,
 }
 
 impl WaterFillingCache {
@@ -93,13 +106,33 @@ impl WaterFillingCache {
                 .zip(requests)
                 .all(|(a, b)| a.to_bits() == b.to_bits());
         if !hit {
-            self.grants = water_filling(requests, budget);
+            let (grants, rounds) = water_filling_with_rounds(requests, budget);
+            self.grants = grants;
+            self.levelings += 1;
+            self.rounds += rounds;
             self.requests.clear();
             self.requests.extend_from_slice(requests);
             self.budget = budget;
             self.valid = true;
+        } else {
+            self.hits += 1;
         }
         &self.grants
+    }
+
+    /// How often a call was served from the cached solve.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// How often the peeling loop actually ran (cache misses).
+    pub fn levelings(&self) -> u64 {
+        self.levelings
+    }
+
+    /// Total peeling rounds across all levelings.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
     }
 }
 
@@ -183,6 +216,24 @@ mod tests {
         assert!((g[1] - 4.0).abs() < 1e-9);
         assert!((g[2] - 8.0).abs() < 1e-9);
         assert!((g[3] - 16.0).abs() < 1e-9);
+        // The peel/level structure above is exactly four loop rounds.
+        let (g2, rounds) = water_filling_with_rounds(&req, 30.0);
+        assert_eq!(g2, g);
+        assert_eq!(rounds, 4);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_rounds() {
+        let mut cache = WaterFillingCache::new();
+        let req = [2.0, 4.0, 8.0, 100.0];
+        cache.grants(&req, 30.0);
+        cache.grants(&req, 30.0);
+        cache.grants(&req, 30.0);
+        assert_eq!(cache.levelings(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.rounds(), 4);
+        cache.grants(&req, 31.0);
+        assert_eq!(cache.levelings(), 2);
     }
 
     #[test]

@@ -17,6 +17,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use qes_core::job::{Job, JobId, JobSet};
+use qes_core::obs::{
+    DequeueKind, Event as ObsEvent, NoopObserver, Observer, SettleOutcome, TriggerCause,
+};
 use qes_core::power::PowerModel;
 use qes_core::quality::QualityFunction;
 use qes_core::rate_units_per_us;
@@ -62,7 +65,19 @@ impl Simulator {
         policy: &mut dyn SchedulingPolicy,
         jobs: &JobSet,
     ) -> (SimReport, SimTrace) {
-        let (report, trace, _) = Self::run_detailed(cfg, policy, jobs);
+        Self::run_observed(cfg, policy, jobs, &mut NoopObserver)
+    }
+
+    /// [`Simulator::run`] with an [`Observer`] receiving the event stream
+    /// (`qes_core::obs`). Observers are passive: the run's outcome is
+    /// bitwise-identical with any observer, including none.
+    pub fn run_observed<O: Observer>(
+        cfg: &SimConfig<'_>,
+        policy: &mut dyn SchedulingPolicy,
+        jobs: &JobSet,
+        obs: &mut O,
+    ) -> (SimReport, SimTrace) {
+        let (report, trace, _) = Self::run_detailed_observed(cfg, policy, jobs, obs);
         (report, trace)
     }
 
@@ -72,7 +87,17 @@ impl Simulator {
         policy: &mut dyn SchedulingPolicy,
         jobs: &JobSet,
     ) -> (SimReport, SimTrace, DetailedStats) {
-        Engine::new(cfg, jobs).run(policy)
+        Self::run_detailed_observed(cfg, policy, jobs, &mut NoopObserver)
+    }
+
+    /// [`Simulator::run_detailed`] with an [`Observer`].
+    pub fn run_detailed_observed<O: Observer>(
+        cfg: &SimConfig<'_>,
+        policy: &mut dyn SchedulingPolicy,
+        jobs: &JobSet,
+        obs: &mut O,
+    ) -> (SimReport, SimTrace, DetailedStats) {
+        Engine::new(cfg, jobs, obs).run(policy)
     }
 }
 
@@ -129,7 +154,7 @@ struct CoreState {
     advanced_to: SimTime,
 }
 
-struct Engine<'a> {
+struct Engine<'a, O: Observer> {
     cfg: &'a SimConfig<'a>,
     all_jobs: Vec<Job>,
     /// Indices into `all_jobs` with `release <= end`, sorted by
@@ -150,10 +175,14 @@ struct Engine<'a> {
     trace: SimTrace,
     report: SimReport,
     stats: DetailedStats,
+    /// Observability sink. Hooks are guarded by `O::ENABLED`, so with
+    /// [`NoopObserver`] every hook (and the event construction feeding
+    /// it) is statically dead code.
+    obs: &'a mut O,
 }
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig<'a>, jobs: &JobSet) -> Self {
+impl<'a, O: Observer> Engine<'a, O> {
+    fn new(cfg: &'a SimConfig<'a>, jobs: &JobSet, obs: &'a mut O) -> Self {
         let all_jobs: Vec<Job> = jobs.iter().copied().collect();
         // Arrivals beyond the horizon are ignored. (Their deadlines may
         // still fall past the cutoff: the engine drains in-flight jobs so
@@ -191,6 +220,7 @@ impl<'a> Engine<'a> {
                 ..SimReport::default()
             },
             stats: DetailedStats::new(cfg.num_cores, cfg.end),
+            obs,
         }
     }
 
@@ -237,6 +267,7 @@ impl<'a> Engine<'a> {
                 // Batch all arrivals at the same instant so the policy
                 // sees them together (a lone trigger between two
                 // simultaneous arrivals is a simulation artifact).
+                let mut batch: u32 = 0;
                 while let Some(&i) = self.arrival_order.get(self.next_arrival) {
                     let job = self.all_jobs[i as usize];
                     if job.release != t {
@@ -246,11 +277,15 @@ impl<'a> Engine<'a> {
                     self.loc.insert(job.id, Loc::Queue(self.queue.len() as u32));
                     self.queue.push(ReadyJob::fresh(job));
                     self.queue_dead.push(false);
-                    self.report.jobs_total += 1;
+                    self.report.counters.jobs_total += 1;
                     self.report.max_quality += self.cfg.quality.max_job_quality(&job);
+                    batch += 1;
                     // The deadline event is only scheduled now that the
                     // job exists — the heap never holds the whole trace.
                     self.push_event(job.deadline, EventKind::Deadline(job.id));
+                }
+                if O::ENABLED {
+                    self.obs.record(t, ObsEvent::Arrivals { count: batch });
                 }
                 let live_waiting = self.queue.len() - self.queue_holes;
                 let counter_hit = trig.counter.is_some_and(|c| live_waiting >= c);
@@ -259,12 +294,30 @@ impl<'a> Engine<'a> {
                 // triggers the scheduler to start assigning more jobs".
                 let idle_hit = trig.on_idle && self.any_core_idle();
                 if trig.on_arrival || counter_hit || idle_hit {
+                    if O::ENABLED {
+                        let cause = if trig.on_arrival {
+                            TriggerCause::Arrival
+                        } else if counter_hit {
+                            TriggerCause::Counter
+                        } else {
+                            TriggerCause::Idle
+                        };
+                        self.obs.record(t, ObsEvent::Trigger { cause });
+                    }
                     self.invoke(policy);
                 }
                 continue;
             }
             let Reverse((t, _, _, kind)) = self.events.pop().expect("heap checked above");
             self.now = t;
+            if O::ENABLED {
+                let dk = match kind {
+                    EventKind::Deadline(_) => DequeueKind::Deadline,
+                    EventKind::PlanEnd { .. } => DequeueKind::PlanEnd,
+                    EventKind::Quantum => DequeueKind::Quantum,
+                };
+                self.obs.record(t, ObsEvent::Dequeue { kind: dk });
+            }
             match kind {
                 EventKind::Deadline(id) => match self.loc.get(&id) {
                     Some(&Loc::Core { core, .. }) => {
@@ -288,11 +341,27 @@ impl<'a> Engine<'a> {
                         // slot is genuinely assignable.
                         let has_work = self.queue.len() > self.queue_holes;
                         if trig.on_idle && (has_work || !trig.idle_requires_work) {
+                            if O::ENABLED {
+                                self.obs.record(
+                                    t,
+                                    ObsEvent::Trigger {
+                                        cause: TriggerCause::PlanEnd,
+                                    },
+                                );
+                            }
                             self.invoke(policy);
                         }
                     }
                 }
                 EventKind::Quantum => {
+                    if O::ENABLED {
+                        self.obs.record(
+                            t,
+                            ObsEvent::Trigger {
+                                cause: TriggerCause::Quantum,
+                            },
+                        );
+                    }
                     self.invoke(policy);
                     if let Some(q) = trig.quantum {
                         let next = t + q;
@@ -323,6 +392,15 @@ impl<'a> Engine<'a> {
             .collect();
         for id in leftovers {
             self.settle(id);
+        }
+        // Drain policy-internal counters into the observer, once, at the
+        // final instant (a pull: policies keep plain integers, the
+        // `dyn SchedulingPolicy` boundary never sees the observer type).
+        if O::ENABLED {
+            let obs = &mut self.obs;
+            policy.metrics(&mut |name, value| {
+                obs.record(final_t, ObsEvent::PolicyCounter { name, value });
+            });
         }
         (self.report, self.trace, self.stats)
     }
@@ -361,12 +439,19 @@ impl<'a> Engine<'a> {
         self.loc.insert(id, Loc::Settled);
         let quality = self.cfg.quality.job_quality(&r.job, r.processed);
         self.report.total_quality += quality;
-        if demand_met(r.processed, r.job.demand) {
-            self.report.jobs_satisfied += 1;
+        let outcome = if demand_met(r.processed, r.job.demand) {
+            self.report.counters.jobs_satisfied += 1;
+            SettleOutcome::Satisfied
         } else if r.processed > 1e-9 {
-            self.report.jobs_partial += 1;
+            self.report.counters.jobs_partial += 1;
+            SettleOutcome::Partial
         } else {
-            self.report.jobs_zero += 1;
+            self.report.counters.jobs_zero += 1;
+            SettleOutcome::Zero
+        };
+        if O::ENABLED {
+            self.obs
+                .record(self.now, ObsEvent::JobSettle { job: id, outcome });
         }
         self.stats.record(JobOutcome {
             id,
@@ -496,7 +581,34 @@ impl<'a> Engine<'a> {
             };
             policy.on_trigger(&view)
         };
-        self.report.invocations += 1;
+        // §IV-E audit: a wakeup whose decision keeps everything — no
+        // assignments, no discards, every plan entry `None`, ambient
+        // speeds absent or bitwise-unchanged — did not *invoke* the
+        // scheduler in the paper's sense (gated PlanEnd/quantum events
+        // that keep a running plan were previously double-counted here).
+        let kept_everything = decision.assignments.is_empty()
+            && decision.discarded.is_empty()
+            && decision.plans.iter().all(Option::is_none)
+            && (decision.ambient_speeds.is_empty()
+                || (decision.ambient_speeds.len() == self.cores.len()
+                    && decision
+                        .ambient_speeds
+                        .iter()
+                        .zip(&self.cores)
+                        .all(|(s, c)| s.to_bits() == c.ambient.to_bits())));
+        if kept_everything {
+            self.report.counters.invocations_kept += 1;
+        } else {
+            self.report.counters.invocations += 1;
+        }
+        if O::ENABLED {
+            self.obs.record(
+                now,
+                ObsEvent::Invoke {
+                    kept: kept_everything,
+                },
+            );
+        }
 
         // Move assigned jobs from the queue onto their cores. Ids that
         // are not waiting (unknown, already assigned, or settled) are
@@ -528,7 +640,10 @@ impl<'a> Engine<'a> {
         for id in decision.discarded {
             if !matches!(self.loc.get(&id), Some(Loc::Settled)) {
                 self.settle(id);
-                self.report.jobs_discarded += 1;
+                self.report.counters.jobs_discarded += 1;
+                if O::ENABLED {
+                    self.obs.record(now, ObsEvent::JobDiscard { job: id });
+                }
             }
         }
 
@@ -541,7 +656,15 @@ impl<'a> Engine<'a> {
             if c >= self.cores.len() {
                 break;
             }
-            let Some(plan) = plan else { continue };
+            let Some(plan) = plan else {
+                // Explicit keep: the policy saw this core and left its
+                // running plan in place.
+                self.report.counters.plans_kept += 1;
+                if O::ENABLED {
+                    self.obs.record(now, ObsEvent::PlanKeep { core: c as u32 });
+                }
+                continue;
+            };
             let core = &mut self.cores[c];
             core.version += 1;
             core.plan.clear();
@@ -554,6 +677,17 @@ impl<'a> Engine<'a> {
                         ..*s
                     }),
             );
+            self.report.counters.plans_installed += 1;
+            if O::ENABLED {
+                let slices = core.plan.len() as u32;
+                self.obs.record(
+                    now,
+                    ObsEvent::PlanInstall {
+                        core: c as u32,
+                        slices,
+                    },
+                );
+            }
             let version = core.version;
             if let Some(end) = core.plan.back().map(|s| s.end) {
                 if end > now {
@@ -635,8 +769,8 @@ mod tests {
         let c = cfg(1000, 2, 40.0);
         let mut p = DesPolicy::new();
         let (report, trace) = Simulator::run(&c, &mut p, &jobs);
-        assert_eq!(report.jobs_total, 1);
-        assert_eq!(report.jobs_satisfied, 1);
+        assert_eq!(report.jobs_total(), 1);
+        assert_eq!(report.jobs_satisfied(), 1);
         assert!((report.normalized_quality() - 1.0).abs() < 1e-6);
         assert!(report.energy_joules > 0.0);
         assert!((trace.total_volume() - 100.0).abs() < 0.1);
@@ -650,9 +784,9 @@ mod tests {
         let c = cfg(500, 1, 5.0);
         let mut p = DesPolicy::new();
         let (report, trace) = Simulator::run(&c, &mut p, &jobs);
-        assert_eq!(report.jobs_total, 2);
-        assert_eq!(report.jobs_satisfied, 0);
-        assert_eq!(report.jobs_partial, 2);
+        assert_eq!(report.jobs_total(), 2);
+        assert_eq!(report.jobs_satisfied(), 0);
+        assert_eq!(report.jobs_partial(), 2);
         assert!((trace.total_volume() - 100.0).abs() < 1.0);
         let expect = 2.0 * Q.value(50.0) / (2.0 * Q.value(200.0));
         assert!((report.normalized_quality() - expect).abs() < 0.02);
@@ -702,9 +836,9 @@ mod tests {
         // 1 core at ≤2 GHz, 150 ms: at most 300 units — two jobs max, and
         // FCFS runs at the slowest finishing speed, so job 0 takes
         // 150 ms at 2/3 GHz... then jobs 1,2 expire: exactly 1 satisfied.
-        assert_eq!(report.jobs_total, 3);
-        assert_eq!(report.jobs_satisfied, 1);
-        assert_eq!(report.jobs_zero, 2);
+        assert_eq!(report.jobs_total(), 3);
+        assert_eq!(report.jobs_satisfied(), 1);
+        assert_eq!(report.jobs_zero(), 2);
     }
 
     #[test]
@@ -731,8 +865,8 @@ mod tests {
         let jobs = JobSet::new(vec![job(0, 0, 100, 50.0)]).unwrap();
         let c = cfg(500, 1, 20.0);
         let (report, _) = Simulator::run(&c, &mut Lazy, &jobs);
-        assert_eq!(report.jobs_total, 1);
-        assert_eq!(report.jobs_zero, 1);
+        assert_eq!(report.jobs_total(), 1);
+        assert_eq!(report.jobs_zero(), 1);
         assert_eq!(report.total_quality, 0.0);
         assert_eq!(report.energy_joules, 0.0);
     }
@@ -743,7 +877,7 @@ mod tests {
         let c = cfg(1000, 1, 20.0);
         let mut p = DesPolicy::new();
         let (report, _) = Simulator::run(&c, &mut p, &jobs);
-        assert_eq!(report.jobs_total, 1);
+        assert_eq!(report.jobs_total(), 1);
     }
 
     #[test]
@@ -754,8 +888,8 @@ mod tests {
         let c = cfg(1000, 1, 20.0); // 2 GHz max → ≤ 2000 units in 1 s
         let mut p = DesPolicy::new();
         let (report, _) = Simulator::run(&c, &mut p, &jobs);
-        assert_eq!(report.jobs_total, 1);
-        assert_eq!(report.jobs_satisfied + report.jobs_partial, 1);
+        assert_eq!(report.jobs_total(), 1);
+        assert_eq!(report.jobs_satisfied() + report.jobs_partial(), 1);
         assert!(report.total_quality > 0.0);
     }
 
@@ -766,8 +900,66 @@ mod tests {
         let mut p = DesPolicy::new(); // 500 ms quantum
         let (report, _) = Simulator::run(&c, &mut p, &jobs);
         // Quantum fires at 500/1000/1500/2000 ms; idle triggers add more.
-        assert!(report.invocations >= 4, "{}", report.invocations);
-        assert_eq!(report.jobs_satisfied, 1);
+        assert!(report.invocations() >= 4, "{}", report.invocations());
+        assert_eq!(report.jobs_satisfied(), 1);
+    }
+
+    #[test]
+    fn kept_plan_wakeups_are_not_policy_invocations() {
+        // §IV-E audit (regression): one 100-unit job spanning the whole
+        // 2 s horizon on one budget-free core. The t=0 idle trigger
+        // assigns and installs a plan (counted). The quantum ticks at
+        // 500/1000/1500 ms find a busy core on a free streak with no new
+        // work — DES keeps the plan, so these wakeups must NOT count as
+        // policy invocations. At 2000 ms the job has settled and the tick
+        // replans the empty system (counted). The old accounting reported
+        // 5 invocations here; the §IV-E taxonomy says 2.
+        let jobs = JobSet::new(vec![job(0, 0, 2000, 100.0)]).unwrap();
+        let c = cfg(2000, 1, 20.0);
+        let mut p = DesPolicy::new();
+        let (report, _) = Simulator::run(&c, &mut p, &jobs);
+        assert_eq!(report.jobs_satisfied(), 1);
+        assert_eq!(report.invocations(), 2, "{report}");
+        assert_eq!(report.invocations_kept(), 3, "{report}");
+        assert_eq!(report.counters.wakeups(), 5);
+    }
+
+    #[test]
+    fn observed_run_is_bitwise_identical_and_consistent() {
+        let v: Vec<Job> = (0..30)
+            .map(|i| job(i, (i as u64) * 13, (i as u64) * 13 + 150, 40.0))
+            .collect();
+        let jobs = JobSet::new(v).unwrap();
+        let c = cfg(1000, 2, 20.0);
+        let (plain, _) = Simulator::run(&c, &mut DesPolicy::new(), &jobs);
+        let mut reg = qes_core::MetricsRegistry::new();
+        let (observed, _) = Simulator::run_observed(&c, &mut DesPolicy::new(), &jobs, &mut reg);
+        assert_eq!(
+            plain.total_quality.to_bits(),
+            observed.total_quality.to_bits()
+        );
+        assert_eq!(
+            plain.energy_joules.to_bits(),
+            observed.energy_joules.to_bits()
+        );
+        assert_eq!(plain.counters, observed.counters);
+        // The observer's fold agrees with the engine's own counters.
+        assert_eq!(reg.counter("engine.invocations"), plain.invocations());
+        assert_eq!(
+            reg.counter("engine.invocations_kept"),
+            plain.invocations_kept()
+        );
+        assert_eq!(
+            reg.counter("engine.settle.satisfied"),
+            plain.jobs_satisfied() as u64
+        );
+        assert_eq!(reg.counter("engine.arrivals"), plain.jobs_total() as u64);
+        assert_eq!(
+            reg.counter("engine.plan.installed"),
+            plain.counters.plans_installed
+        );
+        // DES contributed policy counters through the end-of-run drain.
+        assert!(reg.counter("des.triggers") > 0);
     }
 
     #[test]
@@ -781,8 +973,8 @@ mod tests {
         let c = cfg(1000, 4, 40.0);
         let mut p = DesPolicy::new();
         let (report, _) = Simulator::run(&c, &mut p, &jobs);
-        assert_eq!(report.jobs_satisfied, 12);
-        assert!(report.invocations >= 2);
+        assert_eq!(report.jobs_satisfied(), 12);
+        assert!(report.invocations() >= 2);
     }
 
     #[test]
@@ -847,15 +1039,19 @@ mod tests {
         let jobs = JobSet::new(vec![job(0, 0, 2000, 1000.0)]).unwrap();
         let c = cfg(2500, 1, 20.0);
         let (report, _) = Simulator::run(&c, &mut OneSlice { us: 999_950 }, &jobs);
-        assert_eq!(report.jobs_satisfied, 1, "5e-5 shortfall must satisfy");
-        assert_eq!(report.jobs_partial, 0);
+        assert_eq!(report.jobs_satisfied(), 1, "5e-5 shortfall must satisfy");
+        assert_eq!(report.jobs_partial(), 0);
 
         // A 1000 µs shortfall (1e-3 of the demand) exceeds the tolerance:
         // genuinely incomplete work is still reported as partial.
         let jobs = JobSet::new(vec![job(0, 0, 2000, 1000.0)]).unwrap();
         let (report, _) = Simulator::run(&c, &mut OneSlice { us: 999_000 }, &jobs);
-        assert_eq!(report.jobs_satisfied, 0, "1e-3 shortfall must not satisfy");
-        assert_eq!(report.jobs_partial, 1);
+        assert_eq!(
+            report.jobs_satisfied(),
+            0,
+            "1e-3 shortfall must not satisfy"
+        );
+        assert_eq!(report.jobs_partial(), 1);
     }
 
     #[test]
@@ -905,11 +1101,11 @@ mod tests {
         // Re-invoked roughly every overhead window until the deadline;
         // without the clipped-plan event it would stall after the first.
         assert!(
-            report.invocations >= 3,
+            report.invocations() >= 3,
             "{} invocations",
-            report.invocations
+            report.invocations()
         );
-        assert_eq!(report.jobs_total, 1);
+        assert_eq!(report.jobs_total(), 1);
     }
 
     #[test]
@@ -970,7 +1166,7 @@ mod tests {
         let (report, _) = Simulator::run(&c, &mut p, &jobs);
         // Neither can finish 150 units in 100 ms at 1 GHz… so both end up
         // discarded or zero; quality 0.
-        assert_eq!(report.jobs_satisfied, 0);
+        assert_eq!(report.jobs_satisfied(), 0);
         assert_eq!(report.total_quality, 0.0);
     }
 }

@@ -31,7 +31,7 @@ pub mod validate;
 
 pub use engine::{SimConfig, Simulator};
 pub use qes_multicore::TriggerRequest as TriggerConfig;
-pub use report::SimReport;
+pub use report::{SimCounters, SimReport};
 pub use stats::{DetailedStats, JobOutcome};
 pub use trace::{SimTrace, TraceSlice};
 pub use validate::{validate_trace, TraceSummary};

@@ -158,6 +158,12 @@ fn quantile_of_sorted(v: &[f64], p: f64) -> f64 {
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
+    // Degenerate positions must return the sample itself, bit-for-bit.
+    // Interpolating a value with itself is not the identity in f64:
+    // `inf + 0.0 * (inf - inf)` is NaN and `-0.0 + 0.0 * 0.0` is `+0.0`.
+    if lo == hi || frac == 0.0 || v[lo].to_bits() == v[hi].to_bits() {
+        return v[lo];
+    }
     v[lo] + frac * (v[hi] - v[lo])
 }
 
@@ -216,6 +222,55 @@ mod tests {
         // Quantiles of a sorted-once vector are monotone in p.
         assert!(many.windows(2).all(|w| w[0] <= w[1]));
         assert!(s.quality_quantiles(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn degenerate_populations_return_the_sample_bitwise() {
+        // n = 1: every quantile is the sample, not an interpolation.
+        for &x in &[0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+                let q = quantile_of_sorted(&[x], p);
+                assert_eq!(q.to_bits(), x.to_bits(), "n=1, x={x}, p={p}");
+            }
+        }
+        // All-equal populations, including ones where naive interpolation
+        // would produce NaN (inf - inf) or flip the sign of zero.
+        for &x in &[f64::INFINITY, f64::NEG_INFINITY, -0.0, 7.25] {
+            let v = [x; 5];
+            for &p in &[0.0, 0.1, 0.37, 0.5, 0.99, 1.0] {
+                let q = quantile_of_sorted(&v, p);
+                assert_eq!(q.to_bits(), x.to_bits(), "all-equal x={x}, p={p}");
+            }
+        }
+        // Duplicated values: a quantile landing between two equal
+        // neighbours returns that value exactly.
+        let v = [1.0, 2.0, 2.0, 3.0];
+        let q = quantile_of_sorted(&v, 0.5); // pos = 1.5, between the 2.0s
+        assert_eq!(q.to_bits(), 2.0f64.to_bits());
+    }
+
+    #[test]
+    fn single_sample_stats_match_multi_quantile() {
+        let mut s = DetailedStats::new(1, SimTime::from_secs(1));
+        s.record(outcome(0.42, 50.0, 100.0, 17));
+        let ps = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let many = s.quality_quantiles(&ps).unwrap();
+        for (i, &p) in ps.iter().enumerate() {
+            let one = s.quality_quantile(p).unwrap();
+            assert_eq!(many[i].to_bits(), one.to_bits(), "p = {p}");
+            assert_eq!(one.to_bits(), 0.42f64.to_bits());
+        }
+        // All-equal population through the public API.
+        let mut t = DetailedStats::new(1, SimTime::from_secs(1));
+        for r in [5u64, 9, 13] {
+            t.record(outcome(0.9, 100.0, 100.0, r));
+        }
+        for &p in &ps {
+            let q = t.quality_quantile(p).unwrap();
+            assert_eq!(q.to_bits(), 0.9f64.to_bits(), "all-equal p = {p}");
+            let c = t.completion_quantile(p).unwrap();
+            assert_eq!(c.to_bits(), 1.0f64.to_bits());
+        }
     }
 
     #[test]

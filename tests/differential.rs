@@ -91,12 +91,12 @@ fn assert_bitwise_equal(full: &SimReport, inc: &SimReport, ctx: &str) {
         inc.max_quality.to_bits(),
         "{ctx}"
     );
-    assert_eq!(full.jobs_total, inc.jobs_total, "{ctx}");
-    assert_eq!(full.jobs_satisfied, inc.jobs_satisfied, "{ctx}");
-    assert_eq!(full.jobs_partial, inc.jobs_partial, "{ctx}");
-    assert_eq!(full.jobs_zero, inc.jobs_zero, "{ctx}");
-    assert_eq!(full.jobs_discarded, inc.jobs_discarded, "{ctx}");
-    assert_eq!(full.invocations, inc.invocations, "{ctx}");
+    assert_eq!(full.jobs_total(), inc.jobs_total(), "{ctx}");
+    assert_eq!(full.jobs_satisfied(), inc.jobs_satisfied(), "{ctx}");
+    assert_eq!(full.jobs_partial(), inc.jobs_partial(), "{ctx}");
+    assert_eq!(full.jobs_zero(), inc.jobs_zero(), "{ctx}");
+    assert_eq!(full.jobs_discarded(), inc.jobs_discarded(), "{ctx}");
+    assert_eq!(full.invocations(), inc.invocations(), "{ctx}");
 }
 
 fn cell(trigger: TriggerMode, recompute: RecomputeMode) -> DifferentialConfig {
@@ -175,10 +175,10 @@ fn grouped_triggers_hold_quality_within_one_percent_of_per_event() {
             dq
         );
         assert!(
-            grp.invocations < pe.invocations,
+            grp.invocations() < pe.invocations(),
             "{name}: grouped should invoke less: {} vs {}",
-            grp.invocations,
-            pe.invocations
+            grp.invocations(),
+            pe.invocations()
         );
     }
 }
@@ -202,10 +202,10 @@ fn grouped_triggers_cut_invocations_substantially() {
         SimDuration::ZERO,
     );
     assert!(
-        (grp.invocations as f64) < 0.7 * pe.invocations as f64,
+        (grp.invocations() as f64) < 0.7 * pe.invocations() as f64,
         "grouped {} vs per-event {} invocations",
-        grp.invocations,
-        pe.invocations
+        grp.invocations(),
+        pe.invocations()
     );
 }
 

@@ -28,15 +28,19 @@ fn quick(rate: f64) -> ExperimentConfig {
 fn every_policy_runs_and_reports_sane_metrics() {
     for kind in ALL_POLICIES {
         let r = run_policy(&quick(140.0), kind, 3);
-        assert!(r.jobs_total > 500, "{kind:?}: only {} jobs", r.jobs_total);
         assert!(
-            r.jobs_satisfied + r.jobs_partial + r.jobs_zero == r.jobs_total,
+            r.jobs_total() > 500,
+            "{kind:?}: only {} jobs",
+            r.jobs_total()
+        );
+        assert!(
+            r.jobs_satisfied() + r.jobs_partial() + r.jobs_zero() == r.jobs_total(),
             "{kind:?}: job accounting mismatch"
         );
         let q = r.normalized_quality();
         assert!(q > 0.2 && q <= 1.0 + 1e-9, "{kind:?}: quality {q}");
         assert!(r.energy_joules > 0.0, "{kind:?}: zero energy");
-        assert!(r.invocations > 0, "{kind:?}: never invoked");
+        assert!(r.invocations() > 0, "{kind:?}: never invoked");
     }
 }
 
@@ -47,8 +51,8 @@ fn every_policy_is_deterministic() {
         let b = run_policy(&quick(120.0), kind, 9);
         assert_eq!(a.total_quality, b.total_quality, "{kind:?}");
         assert_eq!(a.energy_joules, b.energy_joules, "{kind:?}");
-        assert_eq!(a.jobs_satisfied, b.jobs_satisfied, "{kind:?}");
-        assert_eq!(a.invocations, b.invocations, "{kind:?}");
+        assert_eq!(a.jobs_satisfied(), b.jobs_satisfied(), "{kind:?}");
+        assert_eq!(a.invocations(), b.invocations(), "{kind:?}");
     }
 }
 
@@ -184,7 +188,7 @@ fn des_quality_dominates_baselines_on_shared_streams() {
 fn zero_budget_system_does_nothing_gracefully() {
     let cfg = quick(100.0).with_budget(0.0);
     let r = run_policy(&cfg, PolicyKind::Des, 1);
-    assert_eq!(r.jobs_satisfied, 0);
+    assert_eq!(r.jobs_satisfied(), 0);
     assert_eq!(r.energy_joules, 0.0);
     assert_eq!(r.total_quality, 0.0);
 }

@@ -3,7 +3,9 @@
 //! budgets, bursts, ladder extremes, impossible jobs, and non-partial
 //! overloads.
 
+use qes::core::obs::Event;
 use qes::core::QualityFunction;
+use qes::core::TraceObserver;
 use qes::core::{DiscreteSpeedSet, ExpQuality, Job, JobSet, PolynomialPower, SimDuration, SimTime};
 use qes::experiments::{run_policy, ExperimentConfig, PolicyKind};
 use qes::multicore::{ArchKind, BaselineOrder, BaselinePolicy, DesPolicy, SchedulingPolicy};
@@ -35,6 +37,112 @@ fn simulate(
     Simulator::run(&cfg, policy, &jobs).0
 }
 
+/// Like [`simulate`], with a [`TraceObserver`] attached.
+fn simulate_traced(
+    jobs: JobSet,
+    policy: &mut dyn SchedulingPolicy,
+    cores: usize,
+    budget: f64,
+    end_ms: u64,
+) -> (qes::sim::SimReport, TraceObserver) {
+    let cfg = SimConfig {
+        num_cores: cores,
+        budget,
+        model: &MODEL,
+        quality: &Q,
+        end: ms(end_ms),
+        record_trace: false,
+        overhead: SimDuration::ZERO,
+    };
+    let mut obs = TraceObserver::new();
+    let (report, _) = Simulator::run_observed(&cfg, policy, &jobs, &mut obs);
+    (report, obs)
+}
+
+/// The event-stream invariants every run must uphold (valid whenever all
+/// deadlines fall inside the horizon, so no tail events trail `end`):
+/// timestamps are monotone, every `PlanInstall` follows a trigger event
+/// at the same instant, and nothing is recorded after `end`.
+fn assert_well_formed(obs: &TraceObserver, end: SimTime) {
+    assert_eq!(obs.dropped(), 0, "ring buffer overflowed");
+    let events = obs.events();
+    assert!(!events.is_empty());
+    let mut prev = SimTime::ZERO;
+    let mut last_trigger: Option<SimTime> = None;
+    for &(at, ev) in &events {
+        assert!(at >= prev, "timestamps went backwards: {at:?} < {prev:?}");
+        prev = at;
+        assert!(at <= end, "event after the horizon: {at:?} > {end:?}");
+        match ev {
+            Event::Trigger { .. } => last_trigger = Some(at),
+            Event::PlanInstall { .. } => {
+                assert_eq!(
+                    last_trigger,
+                    Some(at),
+                    "PlanInstall at {at:?} without a trigger at the same instant"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn observed_burst_trace_is_well_formed() {
+    // The burst scenario below, with the observer attached: every deadline
+    // (150 ms) is far inside the 1 s horizon, so the stream must also end
+    // by the horizon.
+    let jobs = JobSet::new(
+        (0..64)
+            .map(|i| Job::new(i, ms(0), ms(150), 200.0).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let (r, obs) = simulate_traced(jobs, &mut DesPolicy::new(), 4, 80.0, 1000);
+    assert_well_formed(&obs, ms(1000));
+    // The stream is complete: one settle per job, one invoke per wakeup.
+    let events = obs.events();
+    let settles = events
+        .iter()
+        .filter(|(_, e)| matches!(e, Event::JobSettle { .. }))
+        .count();
+    assert_eq!(settles, 64);
+    let invokes = events
+        .iter()
+        .filter(|(_, e)| matches!(e, Event::Invoke { .. }))
+        .count() as u64;
+    assert_eq!(invokes, r.counters.wakeups());
+}
+
+#[test]
+fn observed_overload_trace_is_well_formed() {
+    // The non-partial overload scenario with discards: last deadline at
+    // 40·39 + 150 = 1710 ms < the 2 s horizon.
+    let mut v = Vec::new();
+    for i in 0..40u32 {
+        let rel = ms(40 * i as u64);
+        let mut j = Job::new(i, rel, rel + SimDuration::from_millis(150), 250.0).unwrap();
+        j.partial = false;
+        v.push(j);
+    }
+    let jobs = JobSet::new(v).unwrap();
+    let (r, obs) = simulate_traced(jobs, &mut DesPolicy::new(), 2, 40.0, 2000);
+    assert_well_formed(&obs, ms(2000));
+    let events = obs.events();
+    let discards = events
+        .iter()
+        .filter(|(_, e)| matches!(e, Event::JobDiscard { .. }))
+        .count();
+    assert_eq!(discards, r.jobs_discarded());
+    // Every install is announced: plan installs in the stream match the
+    // report's counter.
+    let installs = events
+        .iter()
+        .filter(|(_, e)| matches!(e, Event::PlanInstall { .. }))
+        .count() as u64;
+    assert_eq!(installs, r.counters.plans_installed);
+}
+
 #[test]
 fn burst_of_simultaneous_arrivals() {
     // 64 jobs all released at t=0 on 4 cores: far beyond capacity, but
@@ -46,10 +154,10 @@ fn burst_of_simultaneous_arrivals() {
     )
     .unwrap();
     let r = simulate(jobs, &mut DesPolicy::new(), 4, 80.0, 1000);
-    assert_eq!(r.jobs_total, 64);
-    assert_eq!(r.jobs_satisfied + r.jobs_partial + r.jobs_zero, 64);
+    assert_eq!(r.jobs_total(), 64);
+    assert_eq!(r.jobs_satisfied() + r.jobs_partial() + r.jobs_zero(), 64);
     // Capacity: 4 cores × 2 GHz × 0.15 s = 1200 units vs 12800 demanded.
-    assert!(r.jobs_satisfied < 8);
+    assert!(r.jobs_satisfied() < 8);
     assert!(r.total_quality > 0.0);
 }
 
@@ -63,8 +171,8 @@ fn job_impossible_even_at_max_speed() {
     ])
     .unwrap();
     let r = simulate(jobs, &mut DesPolicy::new(), 2, 40.0, 1000);
-    assert_eq!(r.jobs_partial, 1);
-    assert_eq!(r.jobs_satisfied, 1);
+    assert_eq!(r.jobs_partial(), 1);
+    assert_eq!(r.jobs_satisfied(), 1);
 }
 
 #[test]
@@ -82,14 +190,14 @@ fn non_partial_overload_discards_do_not_leak() {
     }
     let jobs = JobSet::new(v).unwrap();
     let r = simulate(jobs, &mut DesPolicy::new(), 2, 40.0, 2000);
-    assert_eq!(r.jobs_total, 40);
-    assert_eq!(r.jobs_satisfied + r.jobs_partial + r.jobs_zero, 40);
+    assert_eq!(r.jobs_total(), 40);
+    assert_eq!(r.jobs_satisfied() + r.jobs_partial() + r.jobs_zero(), 40);
     // Non-partial ⇒ partial executions yield zero quality; whatever
     // quality exists comes only from fully satisfied jobs.
-    assert!(r.jobs_satisfied > 0, "some jobs should complete");
-    assert!(r.jobs_satisfied < 40, "overload must cost something");
+    assert!(r.jobs_satisfied() > 0, "some jobs should complete");
+    assert!(r.jobs_satisfied() < 40, "overload must cost something");
     let per_job = Q.value(250.0);
-    let expected = per_job * r.jobs_satisfied as f64;
+    let expected = per_job * r.jobs_satisfied() as f64;
     assert!((r.total_quality - expected).abs() < 1e-6);
 }
 
@@ -110,7 +218,7 @@ fn single_level_speed_ladder() {
     )
     .unwrap();
     let r = simulate(jobs, &mut DesPolicy::with_discrete(set), 2, 40.0, 1500);
-    assert!(r.jobs_satisfied > 15, "satisfied {}", r.jobs_satisfied);
+    assert!(r.jobs_satisfied() > 15, "satisfied {}", r.jobs_satisfied());
 }
 
 #[test]
@@ -120,7 +228,7 @@ fn budget_below_slowest_discrete_level() {
     let set = DiscreteSpeedSet::opteron_2380();
     let jobs = JobSet::new(vec![Job::new(0, ms(0), ms(150), 100.0).unwrap()]).unwrap();
     let r = simulate(jobs, &mut DesPolicy::with_discrete(set), 1, 1.0, 500);
-    assert_eq!(r.jobs_satisfied, 0);
+    assert_eq!(r.jobs_satisfied(), 0);
 }
 
 #[test]
@@ -137,10 +245,10 @@ fn demands_at_pareto_bounds() {
     )
     .unwrap();
     let r = simulate(jobs, &mut DesPolicy::new(), 4, 80.0, 1000);
-    assert_eq!(r.jobs_total, 30);
+    assert_eq!(r.jobs_total(), 30);
     // ~4× overload: concave partial credit still earns real quality.
     assert!(r.normalized_quality() > 0.3, "{}", r.normalized_quality());
-    assert!(r.jobs_partial > 0);
+    assert!(r.jobs_partial() > 0);
 }
 
 #[test]
@@ -149,8 +257,8 @@ fn deadline_on_quantum_boundary() {
     // settle before the quantum replans.
     let jobs = JobSet::new(vec![Job::new(0, ms(350), ms(500), 100.0).unwrap()]).unwrap();
     let r = simulate(jobs, &mut DesPolicy::new(), 1, 20.0, 1000);
-    assert_eq!(r.jobs_total, 1);
-    assert_eq!(r.jobs_satisfied, 1);
+    assert_eq!(r.jobs_total(), 1);
+    assert_eq!(r.jobs_satisfied(), 1);
 }
 
 #[test]
@@ -160,7 +268,7 @@ fn all_architectures_survive_extreme_overload() {
         .with_sim_seconds(5.0);
     for kind in [PolicyKind::Des, PolicyKind::DesSDvfs, PolicyKind::DesNoDvfs] {
         let r = run_policy(&cfg, kind, 1);
-        assert!(r.jobs_total > 1500, "{kind:?}");
+        assert!(r.jobs_total() > 1500, "{kind:?}");
         assert!(r.normalized_quality() > 0.2, "{kind:?}");
         assert!(r.normalized_quality() < 0.9, "{kind:?} should be degraded");
     }
@@ -171,7 +279,7 @@ fn baselines_survive_zero_jobs() {
     let jobs = JobSet::new(vec![]).unwrap();
     for order in [BaselineOrder::Fcfs, BaselineOrder::Ljf, BaselineOrder::Sjf] {
         let r = simulate(jobs.clone(), &mut BaselinePolicy::new(order), 2, 40.0, 500);
-        assert_eq!(r.jobs_total, 0);
+        assert_eq!(r.jobs_total(), 0);
         assert_eq!(r.energy_joules, 0.0);
         assert_eq!(r.normalized_quality(), 1.0);
     }
@@ -182,7 +290,7 @@ fn no_dvfs_with_zero_budget_burns_nothing() {
     let jobs = JobSet::new(vec![Job::new(0, ms(0), ms(150), 100.0).unwrap()]).unwrap();
     let r = simulate(jobs, &mut DesPolicy::on_arch(ArchKind::NoDvfs), 2, 0.0, 500);
     assert_eq!(r.energy_joules, 0.0);
-    assert_eq!(r.jobs_satisfied, 0);
+    assert_eq!(r.jobs_satisfied(), 0);
 }
 
 #[test]
@@ -193,7 +301,7 @@ fn more_cores_than_jobs() {
     ])
     .unwrap();
     let r = simulate(jobs, &mut DesPolicy::new(), 64, 320.0, 500);
-    assert_eq!(r.jobs_satisfied, 2);
+    assert_eq!(r.jobs_satisfied(), 2);
 }
 
 #[test]
@@ -209,12 +317,12 @@ fn sub_millisecond_jobs() {
     )
     .unwrap();
     let r = simulate(jobs, &mut DesPolicy::new(), 2, 40.0, 100);
-    assert_eq!(r.jobs_total, 50);
+    assert_eq!(r.jobs_total(), 50);
     assert!(
-        r.jobs_satisfied + r.jobs_partial > 30,
+        r.jobs_satisfied() + r.jobs_partial() > 30,
         "sat {} part {} zero {}",
-        r.jobs_satisfied,
-        r.jobs_partial,
-        r.jobs_zero
+        r.jobs_satisfied(),
+        r.jobs_partial(),
+        r.jobs_zero()
     );
 }

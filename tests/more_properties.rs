@@ -159,6 +159,63 @@ proptest! {
         prop_assert!(rate < (base + amp) * 1.25, "rate {} vs peak {}", rate, base + amp);
     }
 
+    // ---- quantile degeneracy (satellite of the observability PR) ----
+
+    #[test]
+    fn quantiles_of_degenerate_populations_are_bit_exact(
+        value in -1e9f64..1e9,
+        copies in 1usize..12,
+        p in 0.0f64..1.0,
+    ) {
+        use qes::sim::{DetailedStats, JobOutcome};
+        // A population of n identical samples: every quantile must return
+        // the sample itself, bit-for-bit (no self-interpolation).
+        let mut s = DetailedStats::new(1, SimTime::from_secs(1));
+        for i in 0..copies {
+            s.record(JobOutcome {
+                id: qes::core::JobId(i as u32),
+                release: SimTime::ZERO,
+                settled: SimTime::from_millis(10),
+                processed: 50.0,
+                demand: 100.0,
+                quality: value,
+            });
+        }
+        let q = s.quality_quantile(p).unwrap();
+        prop_assert_eq!(q.to_bits(), value.to_bits());
+        // And the multi-quantile path agrees with the single getter.
+        let many = s.quality_quantiles(&[0.0, p, 1.0]).unwrap();
+        prop_assert_eq!(many[1].to_bits(), q.to_bits());
+    }
+
+    #[test]
+    fn multi_quantile_bit_equals_single_getters(
+        qualities in proptest::collection::vec(-100.0f64..100.0, 1..20),
+        ps in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        use qes::sim::{DetailedStats, JobOutcome};
+        let mut s = DetailedStats::new(1, SimTime::from_secs(1));
+        for (i, &q) in qualities.iter().enumerate() {
+            // Duplicate every other sample to exercise equal-neighbour
+            // interpolation positions.
+            for _ in 0..(1 + i % 2) {
+                s.record(JobOutcome {
+                    id: qes::core::JobId(i as u32),
+                    release: SimTime::ZERO,
+                    settled: SimTime::from_millis(10),
+                    processed: 50.0,
+                    demand: 100.0,
+                    quality: q,
+                });
+            }
+        }
+        let many = s.quality_quantiles(&ps).unwrap();
+        for (i, &p) in ps.iter().enumerate() {
+            let one = s.quality_quantile(p).unwrap();
+            prop_assert_eq!(many[i].to_bits(), one.to_bits(), "p = {}", p);
+        }
+    }
+
     // ---- piecewise quality validator ----
 
     #[test]

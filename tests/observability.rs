@@ -1,0 +1,227 @@
+//! The observability layer's core guarantee: observers are passive.
+//!
+//! A run with any observer attached — trace ring buffer, metrics
+//! registry, or both via `Tee` — must be *bitwise identical* to the
+//! untraced run on ⟨quality, energy⟩ and every integer counter. These
+//! tests pin that across policies and recompute modes, and check the
+//! exported artifacts (CSV trace, JSON metrics) are deterministic.
+
+use qes::core::obs::{Event, Tee};
+use qes::core::{MetricsRegistry, TraceObserver};
+use qes::experiments::{ExperimentConfig, PolicyKind};
+use qes::multicore::{DesPolicy, RecomputeMode};
+use qes::sim::{SimConfig, Simulator};
+
+fn sim_cfg<'a>(cfg: &'a ExperimentConfig, quality: &'a qes::core::ExpQuality) -> SimConfig<'a> {
+    SimConfig {
+        num_cores: cfg.num_cores,
+        budget: cfg.budget,
+        model: &cfg.power,
+        quality,
+        end: qes::core::SimTime::from_secs_f64(cfg.sim_seconds),
+        record_trace: false,
+        overhead: qes::core::SimDuration::ZERO,
+    }
+}
+
+#[test]
+fn traced_run_is_bitwise_identical_to_untraced_across_policies() {
+    let cfg = ExperimentConfig::quick()
+        .with_sim_seconds(5.0)
+        .with_arrival_rate(180.0)
+        .with_cores(4)
+        .with_budget(80.0);
+    let jobs = cfg.workload().generate(11).unwrap();
+    let quality = qes::core::ExpQuality::new(cfg.quality_c);
+    let scfg = sim_cfg(&cfg, &quality);
+
+    for kind in [
+        PolicyKind::Des,
+        PolicyKind::DesNoDvfs,
+        PolicyKind::Fcfs,
+        PolicyKind::SjfWf,
+    ] {
+        let mut plain_policy = kind.build(&cfg.power);
+        let (plain, _) = Simulator::run(&scfg, plain_policy.as_mut(), &jobs);
+
+        let mut traced_policy = kind.build(&cfg.power);
+        let mut obs = Tee(TraceObserver::new(), MetricsRegistry::new());
+        let (traced, _) = Simulator::run_observed(&scfg, traced_policy.as_mut(), &jobs, &mut obs);
+
+        assert_eq!(
+            plain.total_quality.to_bits(),
+            traced.total_quality.to_bits(),
+            "{kind:?}: quality bits"
+        );
+        assert_eq!(
+            plain.energy_joules.to_bits(),
+            traced.energy_joules.to_bits(),
+            "{kind:?}: energy bits"
+        );
+        assert_eq!(
+            plain.max_quality.to_bits(),
+            traced.max_quality.to_bits(),
+            "{kind:?}: max-quality bits"
+        );
+        assert_eq!(plain.counters, traced.counters, "{kind:?}: counters");
+        assert!(!obs.0.is_empty(), "{kind:?}: trace captured nothing");
+    }
+}
+
+#[test]
+fn traced_run_is_bitwise_identical_across_recompute_modes() {
+    let cfg = ExperimentConfig::quick()
+        .with_sim_seconds(4.0)
+        .with_arrival_rate(240.0) // overloaded: discards + WF squeezing
+        .with_cores(4)
+        .with_budget(60.0);
+    let jobs = cfg.workload().generate(23).unwrap();
+    let quality = qes::core::ExpQuality::new(cfg.quality_c);
+    let scfg = sim_cfg(&cfg, &quality);
+
+    for mode in [
+        RecomputeMode::Full,
+        RecomputeMode::Incremental,
+        RecomputeMode::IncrementalQe,
+    ] {
+        let mut p = DesPolicy::new().with_recompute(mode);
+        let (plain, _) = Simulator::run(&scfg, &mut p, &jobs);
+        let mut p = DesPolicy::new().with_recompute(mode);
+        let mut obs = TraceObserver::new();
+        let (traced, _) = Simulator::run_observed(&scfg, &mut p, &jobs, &mut obs);
+        assert_eq!(
+            plain.total_quality.to_bits(),
+            traced.total_quality.to_bits()
+        );
+        assert_eq!(
+            plain.energy_joules.to_bits(),
+            traced.energy_joules.to_bits()
+        );
+        assert_eq!(plain.counters, traced.counters, "{mode:?}");
+    }
+}
+
+#[test]
+fn registry_counters_reconcile_with_report() {
+    let cfg = ExperimentConfig::quick()
+        .with_sim_seconds(5.0)
+        .with_arrival_rate(160.0)
+        .with_cores(4)
+        .with_budget(80.0);
+    let jobs = cfg.workload().generate(5).unwrap();
+    let quality = qes::core::ExpQuality::new(cfg.quality_c);
+    let scfg = sim_cfg(&cfg, &quality);
+
+    let mut p = DesPolicy::new();
+    let mut reg = MetricsRegistry::new();
+    let (report, _) = Simulator::run_observed(&scfg, &mut p, &jobs, &mut reg);
+
+    // Engine-observer counters agree with the always-on report counters.
+    assert_eq!(reg.counter("engine.invocations"), report.invocations());
+    assert_eq!(
+        reg.counter("engine.invocations_kept"),
+        report.invocations_kept()
+    );
+    assert_eq!(
+        reg.counter("engine.plan.installed"),
+        report.counters.plans_installed
+    );
+    assert_eq!(reg.counter("engine.arrivals"), report.jobs_total() as u64);
+    assert_eq!(
+        reg.counter("engine.settle.satisfied"),
+        report.jobs_satisfied() as u64
+    );
+    assert_eq!(
+        reg.counter("engine.settle.partial") + reg.counter("engine.settle.zero"),
+        (report.jobs_partial() + report.jobs_zero()) as u64
+    );
+    // The DES policy drained its internal counters through the boundary.
+    assert!(reg.counter("des.triggers") > 0);
+    assert_eq!(
+        reg.counter("des.triggers"),
+        report.counters.wakeups(),
+        "every policy wakeup is a DES trigger"
+    );
+    // Merging the report gives one registry with both namespaces, and the
+    // JSON export is deterministic.
+    let mut merged = reg.clone();
+    report.export_metrics(&mut merged);
+    assert_eq!(merged.counter("sim.invocations"), report.invocations());
+    let mut again = reg.clone();
+    report.export_metrics(&mut again);
+    assert_eq!(merged.to_json(), again.to_json());
+}
+
+#[test]
+fn trace_csv_is_deterministic_and_well_formed() {
+    let cfg = ExperimentConfig::quick()
+        .with_sim_seconds(3.0)
+        .with_arrival_rate(120.0)
+        .with_cores(2)
+        .with_budget(40.0);
+    let jobs = cfg.workload().generate(3).unwrap();
+    let quality = qes::core::ExpQuality::new(cfg.quality_c);
+    let scfg = sim_cfg(&cfg, &quality);
+
+    let run = || {
+        let mut p = DesPolicy::new();
+        let mut obs = TraceObserver::new();
+        Simulator::run_observed(&scfg, &mut p, &jobs, &mut obs);
+        obs
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.to_csv("x"), b.to_csv("x"), "trace is not deterministic");
+
+    // Schema: header first, every row parses back into the documented
+    // four-column shape with a monotone integer timestamp.
+    let csv = a.to_csv("x");
+    let mut lines = csv.lines();
+    assert!(lines.next().unwrap().starts_with("# trace x events="));
+    assert_eq!(lines.next().unwrap(), TraceObserver::CSV_HEADER);
+    let mut prev = 0u64;
+    for row in lines {
+        let cols: Vec<&str> = row.splitn(4, ',').collect();
+        assert_eq!(cols.len(), 4, "row {row:?}");
+        let t: u64 = cols[0].parse().expect("integer timestamp");
+        assert!(t >= prev, "timestamps regress at {row:?}");
+        prev = t;
+        assert!(!cols[1].is_empty());
+    }
+}
+
+#[test]
+fn ring_buffer_keeps_the_tail_under_pressure() {
+    let cfg = ExperimentConfig::quick()
+        .with_sim_seconds(4.0)
+        .with_arrival_rate(200.0)
+        .with_cores(4)
+        .with_budget(80.0);
+    let jobs = cfg.workload().generate(9).unwrap();
+    let quality = qes::core::ExpQuality::new(cfg.quality_c);
+    let scfg = sim_cfg(&cfg, &quality);
+
+    // A full-capacity reference run, then a tiny ring over the same run.
+    let mut p = DesPolicy::new();
+    let mut full = TraceObserver::new();
+    let (ref_report, _) = Simulator::run_observed(&scfg, &mut p, &jobs, &mut full);
+    assert_eq!(full.dropped(), 0, "reference run must fit the default ring");
+
+    let mut p = DesPolicy::new();
+    let mut tiny = TraceObserver::with_capacity(64);
+    let (report, _) = Simulator::run_observed(&scfg, &mut p, &jobs, &mut tiny);
+    assert_eq!(
+        report.counters, ref_report.counters,
+        "observer changed the run"
+    );
+    assert_eq!(tiny.len(), 64);
+    assert!(tiny.dropped() > 0);
+    // The survivors are exactly the tail of the full stream.
+    let tail = &full.events()[full.len() - 64..];
+    assert_eq!(tiny.events().as_slice(), tail);
+    // Events still carry their kind after wrapping.
+    assert!(tiny
+        .events()
+        .iter()
+        .any(|(_, e)| matches!(e, Event::PolicyCounter { .. })));
+}

@@ -106,11 +106,11 @@ fn golden_websearch_trace_regression() {
         r.total_quality,
         r.max_quality,
         r.energy_joules,
-        r.jobs_satisfied,
-        r.jobs_partial,
-        r.jobs_zero,
-        r.jobs_discarded,
-        r.invocations
+        r.jobs_satisfied(),
+        r.jobs_partial(),
+        r.jobs_zero(),
+        r.jobs_discarded(),
+        r.invocations()
     );
     let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
     assert!(
@@ -133,11 +133,11 @@ fn golden_websearch_trace_regression() {
     );
     assert_eq!(
         (
-            r.jobs_satisfied,
-            r.jobs_partial,
-            r.jobs_zero,
-            r.jobs_discarded,
-            r.invocations
+            r.jobs_satisfied(),
+            r.jobs_partial(),
+            r.jobs_zero(),
+            r.jobs_discarded(),
+            r.invocations()
         ),
         GOLDEN_COUNTS,
         "job outcome counters drifted"
@@ -177,18 +177,18 @@ fn golden_websearch_incremental_qe_bitwise_equals_full() {
     assert_eq!(full.energy_joules.to_bits(), iqe.energy_joules.to_bits());
     assert_eq!(
         (
-            full.jobs_satisfied,
-            full.jobs_partial,
-            full.jobs_zero,
-            full.jobs_discarded,
-            full.invocations
+            full.jobs_satisfied(),
+            full.jobs_partial(),
+            full.jobs_zero(),
+            full.jobs_discarded(),
+            full.invocations()
         ),
         (
-            iqe.jobs_satisfied,
-            iqe.jobs_partial,
-            iqe.jobs_zero,
-            iqe.jobs_discarded,
-            iqe.invocations
+            iqe.jobs_satisfied(),
+            iqe.jobs_partial(),
+            iqe.jobs_zero(),
+            iqe.jobs_discarded(),
+            iqe.invocations()
         )
     );
 }

@@ -1,0 +1,699 @@
+//! Sharded cluster front end: one arrival stream, N simulated machines.
+//!
+//! The paper evaluates DES on a single 16-core machine; a service with
+//! "heavy traffic from millions of users" runs many such machines behind
+//! a dispatcher. This module scales the *simulation itself* across
+//! machines: [`route`] splits a single release-ordered arrival stream
+//! over `N` shards under a pluggable [`RoutingPolicy`], and
+//! [`ClusterEngine`] runs one independent per-shard simulation (the
+//! unmodified `qes-sim` engine with its own policy instance) per shard,
+//! fanning the shards out on the rayon thread pool and merging the
+//! per-shard [`SimReport`]s into a cluster-level [`ClusterReport`].
+//!
+//! # Determinism contract
+//!
+//! * **Routing is a sequential pre-pass.** Shard assignment is computed
+//!   by one in-order scan of the release-sorted job stream before any
+//!   simulation starts, so it cannot depend on thread scheduling.
+//! * **Lane count is unobservable.** Per-shard simulations are pure
+//!   functions of (shard job set, policy, machine config); the rayon
+//!   shim's `collect()` returns them in shard order, so a run under
+//!   `QES_THREADS=1` is bit-for-bit identical to a fanned-out run
+//!   (`tests/cluster_differential.rs` pins this).
+//! * **One shard degenerates to the plain engine.** With `N = 1` every
+//!   job lands on shard 0 and the merged report is the shard's report —
+//!   bitwise, including every counter.
+//! * **Seed-split RNGs.** Shard `i` owns the derived seed
+//!   [`split_seed`]`(base, i)`; the streams are disjoint, so re-seeding
+//!   one shard cannot perturb another shard's results. The core
+//!   quality/energy path consumes no randomness at all — seeds only feed
+//!   the optional per-shard [`PowerMeter`] noise stream.
+//!
+//! # Routing policies
+//!
+//! The dispatcher tracks, per shard, the jobs routed there whose
+//! deadlines have not yet passed (the *in-flight window* — pessimistic:
+//! a routed job is assumed to occupy its shard until its deadline).
+//! Because deadlines are agreeable and the stream is release-sorted,
+//! in-flight windows are FIFO by deadline, so maintenance is O(1)
+//! amortized per arrival. On top of that window:
+//!
+//! * [`RoutingPolicy::RoundRobin`] — cyclic assignment;
+//! * [`RoutingPolicy::Random`] — seeded uniform choice;
+//! * [`RoutingPolicy::Jsq`] — join-shortest-queue on the in-flight
+//!   count, ties broken toward the lowest shard index (so decisions are
+//!   a function of the `(release, deadline)` stream, not of job-id
+//!   labels);
+//! * [`RoutingPolicy::LeastEnergy`] — power-aware: route where the
+//!   DES step-2 power probe (the closed-form max-prefix-density speed
+//!   of the shard's in-flight window, priced through the machine's
+//!   power model) grows the least, ties again toward the lowest index.
+
+use std::collections::VecDeque;
+
+use qes_core::job::{Job, JobSet};
+use qes_core::obs::{Event, NoopObserver, Observer};
+use qes_core::power::PowerModel;
+use qes_core::time::SimTime;
+use qes_core::MetricsRegistry;
+use qes_multicore::SchedulingPolicy;
+use qes_sim::engine::{SimConfig, Simulator};
+use qes_sim::report::{SimCounters, SimReport};
+use qes_sim::trace::SimTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::meter::PowerMeter;
+
+/// How the dispatcher picks a shard for each arriving job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoutingPolicy {
+    /// Cyclic assignment: job `k` (in release order) goes to shard
+    /// `k mod N`.
+    RoundRobin,
+    /// Uniform random shard per job, drawn from a dedicated
+    /// deterministic stream.
+    Random {
+        /// Seed of the routing RNG (independent of the shard seeds).
+        seed: u64,
+    },
+    /// Join-shortest-queue on the in-flight job count; ties go to the
+    /// lowest shard index.
+    Jsq,
+    /// Least-energy-increment: the shard whose step-2 power probe rises
+    /// the least when the job is added; ties go to the lowest index.
+    LeastEnergy,
+}
+
+impl RoutingPolicy {
+    /// Stable lowercase label for report keys and figure rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::Random { .. } => "random",
+            RoutingPolicy::Jsq => "jsq",
+            RoutingPolicy::LeastEnergy => "least-energy",
+        }
+    }
+}
+
+/// Derive shard `lane`'s seed from a cluster base seed (SplitMix64-style
+/// mix-and-finalize). Distinct lanes map to distinct, well-separated
+/// seeds, so per-shard `StdRng` streams are disjoint in practice;
+/// changing one shard's seed leaves every other shard's stream — and
+/// report — untouched.
+pub fn split_seed(base: u64, lane: u64) -> u64 {
+    let mut z = base ^ lane.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The in-flight window of one shard: `(deadline_us, demand)` of routed
+/// jobs whose deadlines are still ahead. Deadline-sorted by construction
+/// (agreeable deadlines + release-ordered arrivals), so retirement pops
+/// from the front and the probe scans prefixes in deadline order.
+type InFlight = VecDeque<(u64, f64)>;
+
+/// The step-2 probe speed (GHz) of one in-flight window at `now_us`,
+/// optionally with a candidate job appended: the maximum prefix density
+/// over deadline-ordered jobs, exactly the closed form the DES policy
+/// uses for its per-core power requests (demands are processing units =
+/// 1 GHz·ms, hence the factor 1000 against microsecond windows).
+fn probe_speed(window: &InFlight, now_us: u64, candidate: Option<(u64, f64)>) -> f64 {
+    let mut cum = 0.0;
+    let mut speed = 0.0f64;
+    for &(d_us, w) in window {
+        cum += w;
+        speed = speed.max(cum * 1000.0 / (d_us - now_us) as f64);
+    }
+    if let Some((d_us, w)) = candidate {
+        cum += w;
+        speed = speed.max(cum * 1000.0 / (d_us - now_us) as f64);
+    }
+    speed
+}
+
+/// Assign every job of the release-sorted stream to a shard.
+///
+/// Returns one shard index per job, in the job set's stored
+/// `(release, deadline, id)` order. This is a deterministic sequential
+/// pre-pass: the same stream and routing policy always produce the same
+/// assignment, independent of thread count. `model` prices the
+/// [`RoutingPolicy::LeastEnergy`] probe and is ignored by the other
+/// policies.
+pub fn route(
+    jobs: &JobSet,
+    shards: usize,
+    routing: &RoutingPolicy,
+    model: &dyn PowerModel,
+) -> Vec<u32> {
+    assert!(shards > 0, "a cluster needs at least one shard");
+    let mut inflight: Vec<InFlight> = vec![InFlight::new(); shards];
+    let mut rr = 0usize;
+    let mut rng = match routing {
+        RoutingPolicy::Random { seed } => Some(StdRng::seed_from_u64(*seed)),
+        _ => None,
+    };
+    let mut out = Vec::with_capacity(jobs.len());
+    for job in jobs.iter() {
+        let now_us = job.release.as_micros();
+        // Retire expired in-flight entries everywhere, so counts and
+        // probes see only live work. Windows are deadline-FIFO.
+        for w in &mut inflight {
+            while w.front().is_some_and(|&(d, _)| d <= now_us) {
+                w.pop_front();
+            }
+        }
+        let shard = match routing {
+            RoutingPolicy::RoundRobin => {
+                let s = rr;
+                rr = (rr + 1) % shards;
+                s
+            }
+            RoutingPolicy::Random { .. } => {
+                let u: f64 = rng.as_mut().expect("random routing carries an rng").gen();
+                ((u * shards as f64) as usize).min(shards - 1)
+            }
+            RoutingPolicy::Jsq => {
+                // Strict `<` keeps the lowest index on ties.
+                let mut best = 0usize;
+                for (i, w) in inflight.iter().enumerate().skip(1) {
+                    if w.len() < inflight[best].len() {
+                        best = i;
+                    }
+                }
+                best
+            }
+            RoutingPolicy::LeastEnergy => {
+                let cand = (job.deadline.as_micros(), job.demand);
+                let mut best = 0usize;
+                let mut best_delta = f64::INFINITY;
+                for (i, w) in inflight.iter().enumerate() {
+                    let before = model.dynamic_power(probe_speed(w, now_us, None));
+                    let after = model.dynamic_power(probe_speed(w, now_us, Some(cand)));
+                    let delta = after - before;
+                    if delta < best_delta {
+                        best_delta = delta;
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        inflight[shard].push_back((job.deadline.as_micros(), job.demand));
+        out.push(shard as u32);
+    }
+    out
+}
+
+/// Split a job set into per-shard job sets according to a [`route`]
+/// assignment. Jobs keep their global ids; each shard's subset of an
+/// agreeable stream is agreeable, and re-validation preserves the
+/// relative order (a subsequence of a sorted sequence is sorted).
+pub fn split_jobs(jobs: &JobSet, assignment: &[u32], shards: usize) -> Vec<JobSet> {
+    assert_eq!(jobs.len(), assignment.len(), "one shard per job");
+    let mut per: Vec<Vec<Job>> = vec![Vec::new(); shards];
+    for (job, &s) in jobs.iter().zip(assignment) {
+        per[s as usize].push(*job);
+    }
+    per.into_iter()
+        .map(|v| JobSet::new(v).expect("subset of an agreeable stream is agreeable"))
+        .collect()
+}
+
+/// One shard's outcome inside a [`ClusterReport`].
+#[derive(Clone, Debug)]
+pub struct ShardRun {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// The shard's derived seed ([`split_seed`] of the cluster base
+    /// seed, unless overridden).
+    pub seed: u64,
+    /// The shard machine's simulation report.
+    pub report: SimReport,
+    /// Metered wall-energy reading of this shard's schedule, when the
+    /// engine carries a [`PowerMeter`] (noise stream seeded by
+    /// [`ShardRun::seed`]).
+    pub measured_energy: Option<f64>,
+}
+
+/// The merged outcome of a sharded cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Routing policy label.
+    pub routing: String,
+    /// Cluster-level aggregate: quality/energy/max-quality and every
+    /// counter summed over shards in shard order. For a 1-shard cluster
+    /// this *is* the shard's report (bitwise).
+    pub merged: SimReport,
+    /// Per-shard reports, indexed by shard.
+    pub shards: Vec<ShardRun>,
+}
+
+impl ClusterReport {
+    /// Total metered energy, if every shard was metered (summed in
+    /// shard order).
+    pub fn measured_energy(&self) -> Option<f64> {
+        self.shards
+            .iter()
+            .map(|s| s.measured_energy)
+            .try_fold(0.0, |acc, e| e.map(|e| acc + e))
+    }
+
+    /// Largest per-shard job count — with [`ClusterReport::min_shard_jobs`]
+    /// a quick balance check on the routing policy.
+    pub fn max_shard_jobs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.report.jobs_total())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Smallest per-shard job count.
+    pub fn min_shard_jobs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.report.jobs_total())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Export the merged report plus per-shard gauges into a registry.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.merged.export_metrics(reg);
+        for s in &self.shards {
+            reg.set_gauge(
+                format!("cluster.shard{}.quality", s.shard),
+                s.report.total_quality,
+            );
+            reg.set_gauge(
+                format!("cluster.shard{}.energy", s.shard),
+                s.report.energy_joules,
+            );
+            reg.set_gauge(
+                format!("cluster.shard{}.jobs", s.shard),
+                s.report.jobs_total() as f64,
+            );
+        }
+        if let Some(e) = self.measured_energy() {
+            reg.set_gauge("cluster.measured_energy", e);
+        }
+    }
+}
+
+/// Field-by-field counter sum (destructured so a new [`SimCounters`]
+/// field is a compile error here instead of a silent merge bug).
+fn add_counters(into: &mut SimCounters, from: &SimCounters) {
+    let SimCounters {
+        jobs_total,
+        jobs_satisfied,
+        jobs_partial,
+        jobs_zero,
+        jobs_discarded,
+        invocations,
+        invocations_kept,
+        plans_installed,
+        plans_kept,
+    } = from;
+    into.jobs_total += jobs_total;
+    into.jobs_satisfied += jobs_satisfied;
+    into.jobs_partial += jobs_partial;
+    into.jobs_zero += jobs_zero;
+    into.jobs_discarded += jobs_discarded;
+    into.invocations += invocations;
+    into.invocations_kept += invocations_kept;
+    into.plans_installed += plans_installed;
+    into.plans_kept += plans_kept;
+}
+
+/// A cluster of `N` identical simulated machines behind one dispatcher.
+///
+/// Each shard runs the unmodified [`Simulator`] over its routed slice of
+/// the arrival stream with its own policy instance; shards execute in
+/// parallel on the rayon pool and merge deterministically (see the
+/// module docs for the contract).
+#[derive(Clone, Debug)]
+pub struct ClusterEngine {
+    shards: usize,
+    routing: RoutingPolicy,
+    seed: u64,
+    shard_seeds: Option<Vec<u64>>,
+    meter: Option<PowerMeter>,
+}
+
+impl ClusterEngine {
+    /// A cluster of `shards` machines, round-robin routing, base seed 0,
+    /// no metering.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        ClusterEngine {
+            shards,
+            routing: RoutingPolicy::RoundRobin,
+            seed: 0,
+            shard_seeds: None,
+            meter: None,
+        }
+    }
+
+    /// Builder: routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Builder: cluster base seed (shard `i` derives
+    /// [`split_seed`]`(seed, i)`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: explicit per-shard seeds, overriding the derived split.
+    /// Must supply exactly one seed per shard.
+    pub fn with_shard_seeds(mut self, seeds: Vec<u64>) -> Self {
+        assert_eq!(seeds.len(), self.shards, "one seed per shard");
+        self.shard_seeds = Some(seeds);
+        self
+    }
+
+    /// Builder: meter every shard's schedule with a [`PowerMeter`]
+    /// (its noise stream re-seeded per shard from the shard seed).
+    pub fn with_meter(mut self, meter: PowerMeter) -> Self {
+        self.meter = Some(meter);
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The routing policy.
+    pub fn routing(&self) -> &RoutingPolicy {
+        &self.routing
+    }
+
+    /// The seed shard `i` runs with.
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        match &self.shard_seeds {
+            Some(seeds) => seeds[shard],
+            None => split_seed(self.seed, shard as u64),
+        }
+    }
+
+    /// Run the cluster: route `jobs`, simulate every shard (in parallel)
+    /// on a machine configured like `cfg`, merge. `make_policy(i)`
+    /// builds shard `i`'s scheduling policy.
+    pub fn run<F>(&self, cfg: &SimConfig<'_>, jobs: &JobSet, make_policy: F) -> ClusterReport
+    where
+        F: Fn(usize) -> Box<dyn SchedulingPolicy> + Sync + Send,
+    {
+        self.run_observed(cfg, jobs, make_policy, |_| NoopObserver)
+            .0
+    }
+
+    /// [`ClusterEngine::run`] with one observer per shard, built by
+    /// `make_observer(i)` and returned in shard order. Each shard's
+    /// event stream opens with a shard-tagged
+    /// [`Event::ShardAssign`]; metered runs additionally tag their
+    /// [`Event::PowerSample`]s with the shard index. Observers are
+    /// passive: the cluster report is bitwise-identical with or without
+    /// them.
+    pub fn run_observed<O, F, M>(
+        &self,
+        cfg: &SimConfig<'_>,
+        jobs: &JobSet,
+        make_policy: F,
+        make_observer: M,
+    ) -> (ClusterReport, Vec<O>)
+    where
+        O: Observer + Send,
+        F: Fn(usize) -> Box<dyn SchedulingPolicy> + Sync + Send,
+        M: Fn(usize) -> O + Sync + Send,
+    {
+        let assignment = route(jobs, self.shards, &self.routing, cfg.model);
+        let shard_jobs = split_jobs(jobs, &assignment, self.shards);
+        debug_assert_eq!(
+            shard_jobs.iter().map(JobSet::len).sum::<usize>(),
+            jobs.len(),
+            "every arrival routed exactly once"
+        );
+
+        let runs: Vec<(ShardRun, O)> = (0..self.shards)
+            .into_par_iter()
+            .map(|i| {
+                let mut policy = make_policy(i);
+                let mut obs = make_observer(i);
+                if O::ENABLED {
+                    obs.record(
+                        SimTime::ZERO,
+                        Event::ShardAssign {
+                            shard: i as u32,
+                            jobs: shard_jobs[i].len() as u32,
+                        },
+                    );
+                }
+                let scfg = SimConfig {
+                    num_cores: cfg.num_cores,
+                    budget: cfg.budget,
+                    model: cfg.model,
+                    quality: cfg.quality,
+                    end: cfg.end,
+                    record_trace: cfg.record_trace || self.meter.is_some(),
+                    overhead: cfg.overhead,
+                };
+                let (report, trace) =
+                    Simulator::run_observed(&scfg, policy.as_mut(), &shard_jobs[i], &mut obs);
+                let seed = self.shard_seed(i);
+                let measured = self.meter.as_ref().map(|m| {
+                    let m = PowerMeter { seed, ..m.clone() };
+                    measured_shard_energy(
+                        &m,
+                        cfg.model,
+                        cfg.num_cores,
+                        cfg.end,
+                        &trace,
+                        i as u32,
+                        &mut obs,
+                    )
+                });
+                (
+                    ShardRun {
+                        shard: i,
+                        seed,
+                        report,
+                        measured_energy: measured,
+                    },
+                    obs,
+                )
+            })
+            .collect();
+
+        let mut shards = Vec::with_capacity(self.shards);
+        let mut observers = Vec::with_capacity(self.shards);
+        for (run, obs) in runs {
+            shards.push(run);
+            observers.push(obs);
+        }
+
+        // Merge in shard order, seeded from shard 0's report so a
+        // 1-shard cluster is the plain engine run to the bit.
+        let mut merged = shards[0].report.clone();
+        for s in &shards[1..] {
+            merged.total_quality += s.report.total_quality;
+            merged.max_quality += s.report.max_quality;
+            merged.energy_joules += s.report.energy_joules;
+            add_counters(&mut merged.counters, &s.report.counters);
+        }
+        merged.policy = format!(
+            "cluster/{}x/{}/{}",
+            self.shards,
+            self.routing.label(),
+            shards[0].report.policy
+        );
+
+        (
+            ClusterReport {
+                routing: self.routing.label().to_string(),
+                merged,
+                shards,
+            },
+            observers,
+        )
+    }
+}
+
+/// Meter one shard's executed schedule: replay the recorded trace as a
+/// per-core speed profile, price it through the machine's *dynamic*
+/// power curve (matching [`SimReport::energy_joules`]'s scope), and let
+/// the shard's [`PowerMeter`] sample it. `PowerSample` events carry the
+/// shard index as their node tag.
+fn measured_shard_energy<O: Observer>(
+    meter: &PowerMeter,
+    model: &dyn PowerModel,
+    num_cores: usize,
+    end: SimTime,
+    trace: &SimTrace,
+    shard: u32,
+    obs: &mut O,
+) -> f64 {
+    let mut per_core: Vec<Vec<(SimTime, SimTime, f64)>> = vec![Vec::new(); num_cores];
+    for s in trace.slices() {
+        if s.core < per_core.len() {
+            per_core[s.core].push((s.start, s.end, s.speed));
+        }
+    }
+    for v in &mut per_core {
+        v.sort_by_key(|&(start, _, _)| start);
+    }
+    let speed_at = |slices: &[(SimTime, SimTime, f64)], t: SimTime| -> f64 {
+        let idx = slices.partition_point(|&(_, e, _)| e <= t);
+        match slices.get(idx) {
+            Some(&(s, _, sp)) if s <= t => sp,
+            _ => 0.0,
+        }
+    };
+    meter.measure_window_observed(
+        shard,
+        SimTime::ZERO,
+        end,
+        |t| {
+            per_core
+                .iter()
+                .map(|slices| model.dynamic_power(speed_at(slices, t)))
+                .sum()
+        },
+        obs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qes_core::power::PolynomialPower;
+    use qes_core::time::SimDuration;
+
+    fn stream(n: usize, gap_ms: u64, demand: f64) -> JobSet {
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| {
+                let at = SimTime::from_millis(i as u64 * gap_ms);
+                Job::new(i as u32, at, at + SimDuration::from_millis(150), demand).unwrap()
+            })
+            .collect();
+        JobSet::new(jobs).unwrap()
+    }
+
+    #[test]
+    fn round_robin_cycles_and_conserves() {
+        let jobs = stream(10, 1, 100.0);
+        let a = route(
+            &jobs,
+            3,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+        );
+        assert_eq!(a, vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0]);
+        let split = split_jobs(&jobs, &a, 3);
+        assert_eq!(split.iter().map(JobSet::len).sum::<usize>(), 10);
+        assert_eq!(split[0].len(), 4);
+    }
+
+    #[test]
+    fn jsq_prefers_the_emptier_shard_and_breaks_ties_low() {
+        // Two simultaneous arrivals: both shards empty -> shard 0 wins the
+        // tie; the second sees shard 0 loaded and goes to shard 1.
+        let jobs = JobSet::new(vec![
+            Job::new(0, SimTime::ZERO, SimTime::from_millis(150), 100.0).unwrap(),
+            Job::new(1, SimTime::ZERO, SimTime::from_millis(150), 100.0).unwrap(),
+            Job::new(2, SimTime::from_millis(1), SimTime::from_millis(151), 100.0).unwrap(),
+        ])
+        .unwrap();
+        let a = route(&jobs, 2, &RoutingPolicy::Jsq, &PolynomialPower::PAPER_SIM);
+        // Third arrival: both shards hold one in-flight job; tie -> 0.
+        assert_eq!(a, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn jsq_retires_expired_windows() {
+        // Second arrival lands after the first job's deadline: shard 0 is
+        // empty again and wins the tie.
+        let jobs = JobSet::new(vec![
+            Job::new(0, SimTime::ZERO, SimTime::from_millis(150), 100.0).unwrap(),
+            Job::new(
+                1,
+                SimTime::from_millis(200),
+                SimTime::from_millis(350),
+                100.0,
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        let a = route(&jobs, 2, &RoutingPolicy::Jsq, &PolynomialPower::PAPER_SIM);
+        assert_eq!(a, vec![0, 0]);
+    }
+
+    #[test]
+    fn least_energy_spreads_simultaneous_load() {
+        // The probe is convex in load, so stacking two simultaneous jobs
+        // on one shard costs more than spreading them.
+        let jobs = JobSet::new(vec![
+            Job::new(0, SimTime::ZERO, SimTime::from_millis(150), 300.0).unwrap(),
+            Job::new(1, SimTime::ZERO, SimTime::from_millis(150), 300.0).unwrap(),
+        ])
+        .unwrap();
+        let a = route(
+            &jobs,
+            2,
+            &RoutingPolicy::LeastEnergy,
+            &PolynomialPower::PAPER_SIM,
+        );
+        assert_eq!(a, vec![0, 1]);
+    }
+
+    #[test]
+    fn random_routing_is_deterministic_per_seed_and_in_range() {
+        let jobs = stream(50, 2, 150.0);
+        let r = RoutingPolicy::Random { seed: 9 };
+        let a = route(&jobs, 4, &r, &PolynomialPower::PAPER_SIM);
+        let b = route(&jobs, 4, &r, &PolynomialPower::PAPER_SIM);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s < 4));
+        let c = route(
+            &jobs,
+            4,
+            &RoutingPolicy::Random { seed: 10 },
+            &PolynomialPower::PAPER_SIM,
+        );
+        assert_ne!(a, c, "different seed should reshuffle some assignment");
+    }
+
+    #[test]
+    fn split_seed_is_injective_over_small_lanes() {
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 1, 42, u64::MAX] {
+            for lane in 0..64u64 {
+                assert!(
+                    seen.insert(split_seed(base, lane)),
+                    "collision at {base}/{lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_speed_matches_hand_computation() {
+        let mut w = InFlight::new();
+        // 100 units due in 100 ms, 50 more due in 200 ms (cum 150).
+        w.push_back((100_000, 100.0));
+        w.push_back((200_000, 50.0));
+        let s = probe_speed(&w, 0, None);
+        // max(100/100ms, 150/200ms) = max(1.0, 0.75) GHz.
+        assert!((s - 1.0).abs() < 1e-12, "{s}");
+        let s2 = probe_speed(&w, 0, Some((200_000, 150.0)));
+        // cum 300 over 200 ms = 1.5 GHz.
+        assert!((s2 - 1.5).abs() < 1e-12, "{s2}");
+    }
+}

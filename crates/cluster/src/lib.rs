@@ -23,14 +23,23 @@
 //!   schedule;
 //! * [`replay`] — executes a recorded [`qes_sim::SimTrace`] on the
 //!   cluster: *exact* energy (what the simulator predicts) and *measured*
-//!   energy (what the meter reports) for Fig. 11.
+//!   energy (what the meter reports) for Fig. 11;
+//! * [`dispatch`] — the sharded cluster *front end*: a deterministic
+//!   dispatcher ([`dispatch::route`]) splitting one arrival stream over N
+//!   independent simulated machines, and [`dispatch::ClusterEngine`]
+//!   running the per-shard simulations in parallel and merging their
+//!   reports (determinism contract in DESIGN.md §9).
 
+pub mod dispatch;
 pub mod meter;
 pub mod nodes;
 pub mod regression;
 pub mod replay;
 pub mod spec;
 
+pub use dispatch::{
+    route, split_jobs, split_seed, ClusterEngine, ClusterReport, RoutingPolicy, ShardRun,
+};
 pub use meter::PowerMeter;
 pub use nodes::{node_breakdown, node_of_core, NodeEnergy, NodeMeterArray};
 pub use regression::{fit_power_model, FitReport};

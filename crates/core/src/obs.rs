@@ -36,6 +36,7 @@
 //! | `discard`        | job id                          |                   |
 //! | `power_sample`   | node index                      | watts             |
 //! | `policy_counter` | counter name                    | counter value     |
+//! | `shard_assign`   | shard index                     | jobs routed       |
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -181,6 +182,15 @@ pub enum Event {
         /// Monotonic value at end of run.
         value: u64,
     },
+    /// A cluster dispatcher bound one shard's routed slice of the arrival
+    /// stream; emitted once per shard at the start of a sharded run, so
+    /// every event stream carries its shard tag.
+    ShardAssign {
+        /// Shard index (0-based).
+        shard: u32,
+        /// Number of jobs routed to this shard.
+        jobs: u32,
+    },
 }
 
 impl Event {
@@ -197,6 +207,7 @@ impl Event {
             Event::JobDiscard { .. } => "discard",
             Event::PowerSample { .. } => "power_sample",
             Event::PolicyCounter { .. } => "policy_counter",
+            Event::ShardAssign { .. } => "shard_assign",
         }
     }
 
@@ -219,6 +230,7 @@ impl Event {
             Event::JobDiscard { job } => format!("{t},discard,{},", job.0),
             Event::PowerSample { node, watts } => format!("{t},power_sample,{node},{watts:?}"),
             Event::PolicyCounter { name, value } => format!("{t},policy_counter,{name},{value}"),
+            Event::ShardAssign { shard, jobs } => format!("{t},shard_assign,{shard},{jobs}"),
         }
     }
 }
@@ -473,6 +485,11 @@ impl Observer for MetricsRegistry {
                 // Drained once at end of run: a snapshot, not an increment.
                 self.counters.insert(name, value);
             }
+            Event::ShardAssign { shard, jobs } => {
+                self.inc("cluster.shard.assignments", 1);
+                self.inc("cluster.shard.jobs", jobs as u64);
+                self.set_gauge(format!("cluster.shard{shard}.routed_jobs"), jobs as f64);
+            }
         }
     }
 }
@@ -707,10 +724,22 @@ mod tests {
                 watts: 12.5,
             }
             .to_csv_row(SimTime::from_micros(30)),
+            Event::ShardAssign { shard: 2, jobs: 77 }.to_csv_row(SimTime::from_micros(40)),
         ];
         assert_eq!(rows[0], "10,dequeue,plan_end,");
         assert_eq!(rows[1], "20,settle,3,partial");
         assert_eq!(rows[2], "30,power_sample,1,12.5");
+        assert_eq!(rows[3], "40,shard_assign,2,77");
+    }
+
+    #[test]
+    fn shard_assign_folds_into_registry() {
+        let mut reg = MetricsRegistry::new();
+        reg.record(SimTime::ZERO, Event::ShardAssign { shard: 0, jobs: 10 });
+        reg.record(SimTime::ZERO, Event::ShardAssign { shard: 1, jobs: 7 });
+        assert_eq!(reg.counter("cluster.shard.assignments"), 2);
+        assert_eq!(reg.counter("cluster.shard.jobs"), 17);
+        assert_eq!(reg.gauge("cluster.shard1.routed_jobs"), Some(7.0));
     }
 
     #[test]

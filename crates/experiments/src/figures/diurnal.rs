@@ -5,41 +5,24 @@
 //! policy through one full sinusoidal load cycle swinging between light
 //! load and overload, on the same job stream.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use qes_core::job::{Job, JobSet};
-use qes_core::time::{SimDuration, SimTime};
-use qes_workload::modulated::{sample_modulated, DiurnalRate};
-use qes_workload::pareto::BoundedPareto;
+use qes_core::job::JobSet;
+use qes_core::time::SimTime;
+use qes_workload::DiurnalWorkload;
 
 use crate::config::{run_jobset, ExperimentConfig, PolicyKind};
 use crate::figures::FigOptions;
 use crate::report::FigureReport;
 
 /// Build the diurnal web-search stream: rate swinging `base ± amp` over
-/// `period` seconds, Pareto demands, 150 ms deadlines.
+/// `period` seconds, Pareto demands, 150 ms deadlines. Thin wrapper over
+/// [`DiurnalWorkload`] (all jobs partial, like §V-B).
 pub fn diurnal_jobs(base: f64, amp: f64, period_secs: f64, horizon: SimTime, seed: u64) -> JobSet {
-    let profile = DiurnalRate {
-        base,
-        amp,
-        period_secs,
-    };
-    let mut rng = StdRng::seed_from_u64(seed);
-    let arrivals = sample_modulated(&profile, &mut rng, horizon);
-    let demand = BoundedPareto::paper_default();
-    let jobs: Vec<Job> = arrivals
-        .iter()
-        .enumerate()
-        .map(|(i, &at)| {
-            let w = demand.sample(&mut rng);
-            let partial = rng.gen::<f64>() <= 1.0; // all partial, like §V-B
-            Job::with_partial(i as u32, at, at + SimDuration::from_millis(150), w, partial)
-                .expect("constant relative deadline")
-        })
-        .collect();
-    JobSet::new(jobs).expect("agreeable by construction")
+    DiurnalWorkload::new(base, amp, period_secs)
+        .with_horizon(horizon)
+        .generate(seed)
+        .expect("agreeable by construction")
 }
 
 /// Run the diurnal comparison.

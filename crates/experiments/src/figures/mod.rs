@@ -2,6 +2,7 @@
 //! (most take [`FigOptions`]; the two analytic figures take nothing).
 
 pub mod ablation;
+pub mod cluster;
 pub mod common;
 pub mod competitive;
 pub mod demand_dist;

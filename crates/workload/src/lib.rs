@@ -21,6 +21,7 @@
 pub mod arrivals;
 pub mod builder;
 pub mod distributions;
+pub mod diurnal;
 pub mod modulated;
 pub mod pareto;
 pub mod trace_io;
@@ -31,6 +32,7 @@ pub use builder::GeneralWorkload;
 pub use distributions::{
     DemandDistribution, Deterministic, EmpiricalDemand, LognormalDemand, UniformDemand,
 };
+pub use diurnal::DiurnalWorkload;
 pub use modulated::{sample_modulated, ConstantRate, DiurnalRate, RateProfile, SteppedRate};
 pub use pareto::BoundedPareto;
 pub use trace_io::{from_csv, to_csv, TraceParseError};

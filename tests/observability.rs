@@ -6,10 +6,11 @@
 //! tests pin that across policies and recompute modes, and check the
 //! exported artifacts (CSV trace, JSON metrics) are deterministic.
 
+use qes::cluster::{ClusterEngine, RoutingPolicy};
 use qes::core::obs::{Event, Tee};
 use qes::core::{MetricsRegistry, TraceObserver};
 use qes::experiments::{ExperimentConfig, PolicyKind};
-use qes::multicore::{DesPolicy, RecomputeMode};
+use qes::multicore::{DesPolicy, RecomputeMode, SchedulingPolicy};
 use qes::sim::{SimConfig, Simulator};
 
 fn sim_cfg<'a>(cfg: &'a ExperimentConfig, quality: &'a qes::core::ExpQuality) -> SimConfig<'a> {
@@ -224,4 +225,131 @@ fn ring_buffer_keeps_the_tail_under_pressure() {
         .events()
         .iter()
         .any(|(_, e)| matches!(e, Event::PolicyCounter { .. })));
+}
+
+// ---------------------------------------------------------------------
+// Cluster observability: shard-tagged events, and the same passivity
+// guarantee at the dispatch layer.
+// ---------------------------------------------------------------------
+
+fn cluster_fixture() -> (ExperimentConfig, qes::core::JobSet) {
+    let cfg = ExperimentConfig::quick()
+        .with_sim_seconds(4.0)
+        .with_arrival_rate(260.0)
+        .with_cores(4)
+        .with_budget(80.0);
+    let jobs = cfg.workload().generate(17).unwrap();
+    (cfg, jobs)
+}
+
+#[test]
+fn traced_cluster_run_is_bitwise_identical_to_untraced() {
+    let (cfg, jobs) = cluster_fixture();
+    let quality = qes::core::ExpQuality::new(cfg.quality_c);
+    let scfg = sim_cfg(&cfg, &quality);
+    let engine = ClusterEngine::new(4).with_routing(RoutingPolicy::Jsq);
+    let make_policy = |_: usize| Box::new(DesPolicy::new()) as Box<dyn SchedulingPolicy>;
+
+    let plain = engine.run(&scfg, &jobs, make_policy);
+    let (traced, observers) =
+        engine.run_observed(&scfg, &jobs, make_policy, |_| TraceObserver::new());
+
+    assert_eq!(
+        plain.merged.total_quality.to_bits(),
+        traced.merged.total_quality.to_bits()
+    );
+    assert_eq!(
+        plain.merged.energy_joules.to_bits(),
+        traced.merged.energy_joules.to_bits()
+    );
+    assert_eq!(plain.merged.counters, traced.merged.counters);
+    for (p, t) in plain.shards.iter().zip(traced.shards.iter()) {
+        assert_eq!(
+            p.report.total_quality.to_bits(),
+            t.report.total_quality.to_bits(),
+            "shard {}",
+            p.shard
+        );
+        assert_eq!(p.report.counters, t.report.counters, "shard {}", p.shard);
+    }
+
+    // One observer per shard, each stream opening with its own
+    // shard-tagged assignment event whose job count matches the shard's
+    // report.
+    assert_eq!(observers.len(), 4);
+    for (i, (obs, run)) in observers.iter().zip(traced.shards.iter()).enumerate() {
+        assert!(!obs.is_empty(), "shard {i} traced nothing");
+        let (t0, first) = &obs.events()[0];
+        assert_eq!(t0.as_micros(), 0, "shard {i}: assign not first");
+        match first {
+            Event::ShardAssign { shard, jobs } => {
+                assert_eq!(*shard as usize, i);
+                assert_eq!(*jobs as usize, run.report.jobs_total());
+            }
+            other => panic!("shard {i}: expected ShardAssign, got {other:?}"),
+        }
+        // Exactly one assignment event per shard stream.
+        let assigns = obs
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::ShardAssign { .. }))
+            .count();
+        assert_eq!(assigns, 1, "shard {i}");
+        // And the CSV carries the shard tag.
+        let csv = obs.to_csv(&format!("shard{i}"));
+        assert!(
+            csv.contains(&format!("0,shard_assign,{i},")),
+            "shard {i} csv"
+        );
+    }
+}
+
+#[test]
+fn per_shard_registries_reconcile_with_merged_cluster_report() {
+    let (cfg, jobs) = cluster_fixture();
+    let quality = qes::core::ExpQuality::new(cfg.quality_c);
+    let scfg = sim_cfg(&cfg, &quality);
+    let engine = ClusterEngine::new(4).with_routing(RoutingPolicy::RoundRobin);
+
+    let (rep, regs) = engine.run_observed(
+        &scfg,
+        &jobs,
+        |_| Box::new(DesPolicy::new()) as Box<dyn SchedulingPolicy>,
+        |_| MetricsRegistry::new(),
+    );
+
+    // Per-shard engine counters sum to the merged report's counters.
+    let sum = |key: &str| regs.iter().map(|r| r.counter(key)).sum::<u64>();
+    assert_eq!(sum("engine.arrivals"), rep.merged.jobs_total() as u64);
+    assert_eq!(sum("engine.invocations"), rep.merged.invocations());
+    assert_eq!(
+        sum("engine.settle.satisfied"),
+        rep.merged.jobs_satisfied() as u64
+    );
+    // Every shard folded exactly its own assignment event.
+    for (i, (reg, run)) in regs.iter().zip(rep.shards.iter()).enumerate() {
+        assert_eq!(reg.counter("cluster.shard.assignments"), 1, "shard {i}");
+        assert_eq!(
+            reg.counter("cluster.shard.jobs"),
+            run.report.jobs_total() as u64,
+            "shard {i}"
+        );
+        assert_eq!(
+            reg.gauge(&format!("cluster.shard{i}.routed_jobs")),
+            Some(run.report.jobs_total() as f64),
+            "shard {i}"
+        );
+    }
+    // The cluster report exports per-shard gauges into one registry that
+    // reconciles with the merge.
+    let mut merged_reg = MetricsRegistry::new();
+    rep.export_metrics(&mut merged_reg);
+    assert_eq!(
+        merged_reg.counter("sim.invocations"),
+        rep.merged.invocations()
+    );
+    let shard_jobs: f64 = (0..4)
+        .map(|i| merged_reg.gauge(&format!("cluster.shard{i}.jobs")).unwrap())
+        .sum();
+    assert_eq!(shard_jobs as usize, rep.merged.jobs_total());
 }

@@ -2,9 +2,10 @@
 //! trace checker (`qes_sim::validate_trace`): windows, non-overlap,
 //! non-migration, demand caps, and the instantaneous power budget.
 
+use qes::cluster::{ClusterEngine, ClusterReport, RoutingPolicy};
 use qes::core::{ExpQuality, PolynomialPower, SimDuration, SimTime};
 use qes::experiments::{run_policy_traced, ExperimentConfig, PolicyKind};
-use qes::multicore::{DesPolicy, RecomputeMode};
+use qes::multicore::{DesPolicy, RecomputeMode, SchedulingPolicy};
 use qes::sim::{validate_trace, SimConfig, Simulator};
 
 const ALL_POLICIES: [PolicyKind; 10] = [
@@ -190,5 +191,139 @@ fn golden_websearch_incremental_qe_bitwise_equals_full() {
             iqe.jobs_discarded(),
             iqe.invocations()
         )
+    );
+}
+
+// ---------------------------------------------------------------------
+// Golden cluster trace: the committed diurnal stream
+// `tests/data/golden_cluster.csv` routed across 4 shards by JSQ, each
+// shard an 8-core / 160 W DES machine. Pins the whole dispatch layer —
+// routing decisions, shard fan-out, report merge — against a blessed
+// run. To re-bless after an *intentional* change, run
+// `cargo test golden_cluster -- --ignored --nocapture` (regenerates the
+// CSV and prints the actuals) and copy them here.
+// ---------------------------------------------------------------------
+
+/// Blessed merged aggregates (rel 1e-6) and exact counters for the
+/// golden cluster run.
+const GOLDEN_CLUSTER_QUALITY: f64 = 3.860_506_484_907_951e2;
+const GOLDEN_CLUSTER_MAX_QUALITY: f64 = 4.263_360_016_037_619_3e2;
+const GOLDEN_CLUSTER_ENERGY: f64 = 1.536_332_475_290_671_5e3;
+/// (satisfied, partial, zero, discarded, invocations) over the merge.
+const GOLDEN_CLUSTER_COUNTS: (usize, usize, usize, usize, u64) = (541, 410, 0, 0, 340);
+/// Exact jobs routed to each shard by JSQ, in shard order.
+const GOLDEN_CLUSTER_SHARD_JOBS: [usize; 4] = [245, 240, 235, 231];
+
+fn golden_cluster_run(jobs: &qes::core::JobSet) -> ClusterReport {
+    let model = PolynomialPower::PAPER_SIM;
+    let quality = ExpQuality::new(0.003);
+    let cfg = SimConfig {
+        num_cores: 8,
+        budget: 160.0,
+        model: &model,
+        quality: &quality,
+        end: SimTime::from_secs(4),
+        record_trace: false,
+        overhead: SimDuration::ZERO,
+    };
+    let engine = ClusterEngine::new(4).with_routing(RoutingPolicy::Jsq);
+    engine.run(&cfg, jobs, |_| {
+        Box::new(DesPolicy::new()) as Box<dyn SchedulingPolicy>
+    })
+}
+
+#[test]
+fn golden_cluster_trace_regression() {
+    let csv = include_str!("data/golden_cluster.csv");
+    let jobs = qes::workload::from_csv(csv).expect("golden cluster trace parses");
+    let rep = golden_cluster_run(&jobs);
+
+    println!(
+        "golden cluster actuals: quality {:.17e} max {:.17e} energy {:.17e} \
+         counts ({}, {}, {}, {}, {}) shard_jobs {:?}",
+        rep.merged.total_quality,
+        rep.merged.max_quality,
+        rep.merged.energy_joules,
+        rep.merged.jobs_satisfied(),
+        rep.merged.jobs_partial(),
+        rep.merged.jobs_zero(),
+        rep.merged.jobs_discarded(),
+        rep.merged.invocations(),
+        rep.shards
+            .iter()
+            .map(|s| s.report.jobs_total())
+            .collect::<Vec<_>>()
+    );
+
+    let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+    assert!(
+        rel(rep.merged.total_quality, GOLDEN_CLUSTER_QUALITY) < 1e-6,
+        "cluster quality drifted: {} vs golden {}",
+        rep.merged.total_quality,
+        GOLDEN_CLUSTER_QUALITY
+    );
+    assert!(
+        rel(rep.merged.max_quality, GOLDEN_CLUSTER_MAX_QUALITY) < 1e-6,
+        "cluster max quality drifted: {} vs golden {}",
+        rep.merged.max_quality,
+        GOLDEN_CLUSTER_MAX_QUALITY
+    );
+    assert!(
+        rel(rep.merged.energy_joules, GOLDEN_CLUSTER_ENERGY) < 1e-6,
+        "cluster energy drifted: {} vs golden {}",
+        rep.merged.energy_joules,
+        GOLDEN_CLUSTER_ENERGY
+    );
+    assert_eq!(
+        (
+            rep.merged.jobs_satisfied(),
+            rep.merged.jobs_partial(),
+            rep.merged.jobs_zero(),
+            rep.merged.jobs_discarded(),
+            rep.merged.invocations()
+        ),
+        GOLDEN_CLUSTER_COUNTS,
+        "merged outcome counters drifted"
+    );
+    // Routing decisions are part of the contract: the exact per-shard
+    // job split must not move.
+    let shard_jobs: Vec<usize> = rep.shards.iter().map(|s| s.report.jobs_total()).collect();
+    assert_eq!(shard_jobs, GOLDEN_CLUSTER_SHARD_JOBS, "JSQ routing drifted");
+    assert_eq!(
+        shard_jobs.iter().sum::<usize>(),
+        jobs.len(),
+        "jobs conserved"
+    );
+}
+
+/// Regenerates `tests/data/golden_cluster.csv` and prints fresh golden
+/// constants. Only run to re-bless:
+/// `cargo test golden_cluster_regenerate -- --ignored --nocapture`.
+#[test]
+#[ignore = "re-blessing tool, writes tests/data/golden_cluster.csv"]
+fn golden_cluster_regenerate() {
+    use qes::workload::DiurnalWorkload;
+    // Bursty diurnal stream sized so peaks overload the 4-shard cluster
+    // (per-shard full-speed capacity ≈ 83 req/s ⇒ cluster ≈ 333 req/s;
+    // peaks reach 460 req/s) while troughs run light.
+    let jobs = DiurnalWorkload::new(280.0, 180.0, 2.0)
+        .with_horizon(SimTime::from_secs(3))
+        .generate(9)
+        .expect("agreeable by construction");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_cluster.csv");
+    std::fs::write(path, qes::workload::to_csv(&jobs)).expect("write golden csv");
+    println!("wrote {} jobs to {path}", jobs.len());
+    let rep = golden_cluster_run(&jobs);
+    println!(
+        "bless: QUALITY {:.17e} MAX {:.17e} ENERGY {:.17e} COUNTS ({}, {}, {}, {}, {}) SHARD_JOBS {:?}",
+        rep.merged.total_quality,
+        rep.merged.max_quality,
+        rep.merged.energy_joules,
+        rep.merged.jobs_satisfied(),
+        rep.merged.jobs_partial(),
+        rep.merged.jobs_zero(),
+        rep.merged.jobs_discarded(),
+        rep.merged.invocations(),
+        rep.shards.iter().map(|s| s.report.jobs_total()).collect::<Vec<_>>()
     );
 }

@@ -277,8 +277,14 @@ fn run_sweep_config(name: &'static str, threads: usize, reps: usize) -> Sample {
 /// `cluster/1M_jobs/4_shards` ÷ `cluster/1M_jobs/1_shards` ratio is the
 /// shard-parallel speedup on this host (~1.0 on a single-core runner —
 /// the `cores` field records the lane count used).
-fn run_cluster_config(name: &'static str, shards: usize, jobs: usize, reps: usize) -> Sample {
-    use qes_cluster::{ClusterEngine, RoutingPolicy};
+fn run_cluster_config(
+    name: &'static str,
+    shards: usize,
+    jobs: usize,
+    reps: usize,
+    faulty: bool,
+) -> Sample {
+    use qes_cluster::{ClusterEngine, FaultPlan, RoutingPolicy};
     use qes_workload::DiurnalWorkload;
 
     // Total mean rate sized for ~90 % utilization across 4 shards of
@@ -288,7 +294,16 @@ fn run_cluster_config(name: &'static str, shards: usize, jobs: usize, reps: usiz
         .generate_exact(jobs, 42)
         .expect("bench workload generates");
     let end = trace.last_deadline().expect("non-empty trace");
-    let engine = ClusterEngine::new(shards).with_routing(RoutingPolicy::Jsq);
+    // The faulty row prices the failover machinery: feedback routing
+    // over a seeded crash/brownout plan (~1 outage per shard per 100 s)
+    // instead of JSQ over healthy shards.
+    let engine = if faulty {
+        ClusterEngine::new(shards)
+            .with_routing(RoutingPolicy::Feedback)
+            .with_fault_plan(FaultPlan::seeded(shards, end, 42, 97.0, 3.0, 0.5))
+    } else {
+        ClusterEngine::new(shards).with_routing(RoutingPolicy::Jsq)
+    };
     let mut walls: Vec<f64> = (0..reps)
         .map(|_| {
             let cfg = SimConfig {
@@ -303,7 +318,11 @@ fn run_cluster_config(name: &'static str, shards: usize, jobs: usize, reps: usiz
             let t = Instant::now();
             let rep = engine.run(&cfg, &trace, |_| Box::new(DesPolicy::new()));
             let wall = t.elapsed().as_secs_f64();
-            assert_eq!(rep.merged.jobs_total(), jobs, "cluster lost jobs");
+            assert_eq!(
+                rep.merged.jobs_total() as u64 + rep.jobs_dropped,
+                jobs as u64,
+                "cluster lost jobs"
+            );
             wall
         })
         .collect();
@@ -448,14 +467,14 @@ fn bench_sim_engine(c: &mut Criterion) {
     // simulated machines. On a ≥4-core host the 4-shard fan-out lands
     // ≥1.5x over 1 shard; on a single-core runner both run on one lane
     // and the ratio is ~1.0 (like the sweep rows above).
-    let c1 = run_cluster_config("cluster/1M_jobs/1_shards", 1, 1_000_000, 1);
+    let c1 = run_cluster_config("cluster/1M_jobs/1_shards", 1, 1_000_000, 1, false);
     println!(
         "sim_engine/{}: {:.3} s  ({:.0} jobs/s)",
         c1.key(),
         c1.wall_s,
         c1.jobs_per_sec
     );
-    let c4 = run_cluster_config("cluster/1M_jobs/4_shards", 4, 1_000_000, 1);
+    let c4 = run_cluster_config("cluster/1M_jobs/4_shards", 4, 1_000_000, 1, false);
     println!(
         "sim_engine/{}: {:.3} s  ({:.0} jobs/s)  [{:.2}x over 1 shard, {} lanes]",
         c4.key(),
@@ -464,8 +483,19 @@ fn bench_sim_engine(c: &mut Criterion) {
         c4.jobs_per_sec / c1.jobs_per_sec,
         rayon::current_num_threads().max(1)
     );
+    // Same stream under fault injection: the price of epoch-segmented
+    // shards plus failover dispatch, relative to the healthy 4-shard row.
+    let cf = run_cluster_config("cluster/1M_jobs/4_shards/faulty", 4, 1_000_000, 1, true);
+    println!(
+        "sim_engine/{}: {:.3} s  ({:.0} jobs/s)  [{:.2}x of healthy 4-shard]",
+        cf.key(),
+        cf.wall_s,
+        cf.jobs_per_sec,
+        cf.jobs_per_sec / c4.jobs_per_sec
+    );
     samples.push(c1);
     samples.push(c4);
+    samples.push(cf);
 
     write_report(&samples, baseline.as_deref());
 }

@@ -10,16 +10,31 @@
 //! fanning the shards out on the rayon thread pool and merging the
 //! per-shard [`SimReport`]s into a cluster-level [`ClusterReport`].
 //!
+//! On top of the healthy path, the engine accepts a deterministic
+//! [`FaultPlan`] (crash/brownout windows per shard, see `fault`): the
+//! dispatch pre-pass skips crashed shards, strands the jobs caught on a
+//! crashing shard and re-releases them to survivors after a retry
+//! delay, and each shard's simulation is segmented into capacity
+//! epochs (full / browned-out / down). Dropped and retried jobs are
+//! surfaced on the [`ClusterReport`].
+//!
 //! # Determinism contract
 //!
-//! * **Routing is a sequential pre-pass.** Shard assignment is computed
-//!   by one in-order scan of the release-sorted job stream before any
-//!   simulation starts, so it cannot depend on thread scheduling.
+//! * **Routing is a sequential pre-pass.** Shard assignment — and all
+//!   fault handling: stranding, retry re-release, dropping — is computed
+//!   by one in-order scan of the merged (arrivals ∪ retries ∪ crash
+//!   instants) event stream before any simulation starts, so it cannot
+//!   depend on thread scheduling.
 //! * **Lane count is unobservable.** Per-shard simulations are pure
-//!   functions of (shard job set, policy, machine config); the rayon
-//!   shim's `collect()` returns them in shard order, so a run under
-//!   `QES_THREADS=1` is bit-for-bit identical to a fanned-out run
+//!   functions of (shard job set, fault epochs, policy, machine config);
+//!   the rayon shim's `collect()` returns them in shard order, so a run
+//!   under `QES_THREADS=1` is bit-for-bit identical to a fanned-out run
 //!   (`tests/cluster_differential.rs` pins this).
+//! * **Zero faults ≡ the fault-free path.** Under
+//!   [`FaultPlan::none`] every query degenerates (all shards eligible,
+//!   one healthy epoch per shard), and each construct is written so the
+//!   degenerate case is the PR 8 code path *by construction* — the
+//!   reports are bitwise identical across the routing matrix.
 //! * **One shard degenerates to the plain engine.** With `N = 1` every
 //!   job lands on shard 0 and the merged report is the shard's report —
 //!   bitwise, including every counter.
@@ -27,19 +42,24 @@
 //!   [`split_seed`]`(base, i)`; the streams are disjoint, so re-seeding
 //!   one shard cannot perturb another shard's results. The core
 //!   quality/energy path consumes no randomness at all — seeds only feed
-//!   the optional per-shard [`PowerMeter`] noise stream.
+//!   the optional per-shard [`PowerMeter`] noise stream (fault plans are
+//!   sampled *before* the run by [`FaultPlan::seeded`], never during).
 //!
 //! # Routing policies
 //!
 //! The dispatcher tracks, per shard, the jobs routed there whose
 //! deadlines have not yet passed (the *in-flight window* — pessimistic:
 //! a routed job is assumed to occupy its shard until its deadline).
-//! Because deadlines are agreeable and the stream is release-sorted,
-//! in-flight windows are FIFO by deadline, so maintenance is O(1)
-//! amortized per arrival. On top of that window:
+//! Windows are deadline-sorted; retry re-releases may carry earlier
+//! deadlines than the window tail, so insertion keeps the sort (for an
+//! agreeable stream with no retries this is a plain push-back).
+//! Crashed shards are never eligible; when every shard is crashed the
+//! job is dropped. On top of that window:
 //!
-//! * [`RoutingPolicy::RoundRobin`] — cyclic assignment;
-//! * [`RoutingPolicy::Random`] — seeded uniform choice;
+//! * [`RoutingPolicy::RoundRobin`] — cyclic assignment (skipping
+//!   crashed shards without consuming their turn's successor);
+//! * [`RoutingPolicy::Random`] — seeded uniform choice among eligible
+//!   shards;
 //! * [`RoutingPolicy::Jsq`] — join-shortest-queue on the in-flight
 //!   count, ties broken toward the lowest shard index (so decisions are
 //!   a function of the `(release, deadline)` stream, not of job-id
@@ -47,30 +67,40 @@
 //! * [`RoutingPolicy::LeastEnergy`] — power-aware: route where the
 //!   DES step-2 power probe (the closed-form max-prefix-density speed
 //!   of the shard's in-flight window, priced through the machine's
-//!   power model) grows the least, ties again toward the lowest index.
+//!   power model) grows the least; comparisons use `f64::total_cmp`
+//!   with ties toward the lowest index, so NaN deltas (degenerate power
+//!   models) still produce a deterministic, documented choice;
+//! * [`RoutingPolicy::Feedback`] — failover-aware feedback routing:
+//!   each shard reports its queue depth (pending in-flight demand) and
+//!   health (current capacity fraction from the fault plan); the job
+//!   goes to the shard with the lowest depth ÷ capacity score, ties
+//!   toward the lowest index. With no faults this is least-pending-work
+//!   routing; under brownouts it sheds load away from degraded shards.
 
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, VecDeque};
 
-use qes_core::job::{Job, JobSet};
-use qes_core::obs::{Event, NoopObserver, Observer};
+use qes_core::job::{Job, JobId, JobSet};
+use qes_core::obs::{Event, NoopObserver, Observer, OutageKind};
 use qes_core::power::PowerModel;
 use qes_core::time::SimTime;
 use qes_core::MetricsRegistry;
 use qes_multicore::SchedulingPolicy;
 use qes_sim::engine::{SimConfig, Simulator};
 use qes_sim::report::{SimCounters, SimReport};
-use qes_sim::trace::SimTrace;
+use qes_sim::trace::{SimTrace, TraceSlice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
+use crate::fault::{effective_cores, FaultKind, FaultPlan};
 use crate::meter::PowerMeter;
 
 /// How the dispatcher picks a shard for each arriving job.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RoutingPolicy {
     /// Cyclic assignment: job `k` (in release order) goes to shard
-    /// `k mod N`.
+    /// `k mod N` (the next eligible shard under faults).
     RoundRobin,
     /// Uniform random shard per job, drawn from a dedicated
     /// deterministic stream.
@@ -84,6 +114,10 @@ pub enum RoutingPolicy {
     /// Least-energy-increment: the shard whose step-2 power probe rises
     /// the least when the job is added; ties go to the lowest index.
     LeastEnergy,
+    /// Feedback routing on shard-reported queue depth ÷ available
+    /// capacity; ties go to the lowest index. Skips crashed shards and
+    /// sheds load away from browned-out ones.
+    Feedback,
 }
 
 impl RoutingPolicy {
@@ -94,6 +128,7 @@ impl RoutingPolicy {
             RoutingPolicy::Random { .. } => "random",
             RoutingPolicy::Jsq => "jsq",
             RoutingPolicy::LeastEnergy => "least-energy",
+            RoutingPolicy::Feedback => "feedback",
         }
     }
 }
@@ -110,32 +145,346 @@ pub fn split_seed(base: u64, lane: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The in-flight window of one shard: `(deadline_us, demand)` of routed
-/// jobs whose deadlines are still ahead. Deadline-sorted by construction
-/// (agreeable deadlines + release-ordered arrivals), so retirement pops
-/// from the front and the probe scans prefixes in deadline order.
-type InFlight = VecDeque<(u64, f64)>;
+/// The in-flight window of one shard: `(deadline_us, demand, slot)` of
+/// routed jobs whose deadlines are still ahead, where `slot` indexes the
+/// shard's routed-job stream (so a crash can strand exactly the jobs
+/// still in the window). Deadline-sorted by construction; retirement
+/// pops from the front and the probe scans prefixes in deadline order.
+type InFlight = VecDeque<(u64, f64, u32)>;
 
 /// The step-2 probe speed (GHz) of one in-flight window at `now_us`,
 /// optionally with a candidate job appended: the maximum prefix density
 /// over deadline-ordered jobs, exactly the closed form the DES policy
 /// uses for its per-core power requests (demands are processing units =
-/// 1 GHz·ms, hence the factor 1000 against microsecond windows).
+/// 1 GHz·ms, hence the factor 1000 against microsecond windows). A
+/// window or candidate whose deadline is at or before `now_us` (zero
+/// slack) is clamped to a 1 µs floor so the density stays finite
+/// instead of underflowing or dividing by zero.
 fn probe_speed(window: &InFlight, now_us: u64, candidate: Option<(u64, f64)>) -> f64 {
     let mut cum = 0.0;
     let mut speed = 0.0f64;
-    for &(d_us, w) in window {
+    for &(d_us, w, _) in window {
         cum += w;
-        speed = speed.max(cum * 1000.0 / (d_us - now_us) as f64);
+        speed = speed.max(cum * 1000.0 / d_us.saturating_sub(now_us).max(1) as f64);
     }
     if let Some((d_us, w)) = candidate {
         cum += w;
-        speed = speed.max(cum * 1000.0 / (d_us - now_us) as f64);
+        speed = speed.max(cum * 1000.0 / d_us.saturating_sub(now_us).max(1) as f64);
     }
     speed
 }
 
-/// Assign every job of the release-sorted stream to a shard.
+/// Sum of demands still in one shard's in-flight window — the "queue
+/// depth" a shard reports to [`RoutingPolicy::Feedback`].
+fn pending_demand(window: &InFlight) -> f64 {
+    window.iter().map(|&(_, w, _)| w).sum()
+}
+
+/// The outcome of the fault-aware dispatch pre-pass
+/// ([`dispatch_with_faults`]).
+#[derive(Clone, Debug)]
+pub struct DispatchPlan {
+    /// Final per-shard job streams: original arrivals plus surviving
+    /// retry re-releases, minus stranded copies, sorted by
+    /// `(release, deadline, id)`. Retries keep their original deadline,
+    /// so the retry eats the job's slack (streams may lose
+    /// agreeability; the per-shard engine does not require it).
+    pub shard_jobs: Vec<JobSet>,
+    /// Shard of each *original* job in stream order, `u32::MAX` when
+    /// the dispatcher dropped it (no eligible shard at release, or a
+    /// later stranding with an infeasible retry).
+    pub assignment: Vec<u32>,
+    /// Jobs the dispatcher dropped, with the drop instant.
+    pub dropped: Vec<(SimTime, Job)>,
+    /// Stranding records `(crash instant, job, crashed shard)`, in
+    /// crash order — one per stranded copy, whether or not the retry
+    /// later succeeded.
+    pub redispatches: Vec<(SimTime, JobId, u32)>,
+    /// Retry re-releases that were successfully routed to a surviving
+    /// shard.
+    pub retried: u64,
+}
+
+/// Mutable routing state shared by every arrival of the dispatch scan.
+struct Router<'a> {
+    routing: &'a RoutingPolicy,
+    model: &'a dyn PowerModel,
+    plan: &'a FaultPlan,
+    shards: usize,
+    inflight: Vec<InFlight>,
+    /// Per-shard routed-job stream (in routing order) and whether each
+    /// entry is still alive (not stranded by a later crash).
+    streams: Vec<Vec<Job>>,
+    alive: Vec<Vec<bool>>,
+    rr: usize,
+    rng: Option<StdRng>,
+}
+
+impl Router<'_> {
+    /// Route one arrival (original or retry) at its release instant.
+    /// Returns the chosen shard, or `None` when every shard is crashed.
+    fn admit(&mut self, job: Job) -> Option<usize> {
+        let now = job.release;
+        let now_us = now.as_micros();
+        // Retire expired in-flight entries everywhere, so counts and
+        // probes see only live work. Windows are deadline-FIFO.
+        for w in &mut self.inflight {
+            while w.front().is_some_and(|&(d, _, _)| d <= now_us) {
+                w.pop_front();
+            }
+        }
+        let eligible: Vec<usize> = (0..self.shards)
+            .filter(|&s| !self.plan.is_crashed(s, now))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let shard = match self.routing {
+            RoutingPolicy::RoundRobin => {
+                // First eligible shard at or after the cursor,
+                // cyclically; with no faults this is the plain cursor.
+                let s = (0..self.shards)
+                    .map(|k| (self.rr + k) % self.shards)
+                    .find(|s| !self.plan.is_crashed(*s, now))
+                    .expect("eligible set is non-empty");
+                self.rr = (s + 1) % self.shards;
+                s
+            }
+            RoutingPolicy::Random { .. } => {
+                let u: f64 = self
+                    .rng
+                    .as_mut()
+                    .expect("random routing carries an rng")
+                    .gen();
+                eligible[((u * eligible.len() as f64) as usize).min(eligible.len() - 1)]
+            }
+            RoutingPolicy::Jsq => {
+                // Strict `<` keeps the lowest index on ties.
+                let mut best = eligible[0];
+                for &s in &eligible[1..] {
+                    if self.inflight[s].len() < self.inflight[best].len() {
+                        best = s;
+                    }
+                }
+                best
+            }
+            RoutingPolicy::LeastEnergy => {
+                let cand = (job.deadline.as_micros(), job.demand);
+                let delta = |s: usize| {
+                    let w = &self.inflight[s];
+                    let before = self.model.dynamic_power(probe_speed(w, now_us, None));
+                    let after = self.model.dynamic_power(probe_speed(w, now_us, Some(cand)));
+                    after - before
+                };
+                // total_cmp gives a total order (NaN sorts above +inf),
+                // so a degenerate power model still yields the
+                // documented lowest-index tie-break deterministically.
+                let mut best = eligible[0];
+                let mut best_delta = delta(best);
+                for &s in &eligible[1..] {
+                    let d = delta(s);
+                    if d.total_cmp(&best_delta) == Ordering::Less {
+                        best_delta = d;
+                        best = s;
+                    }
+                }
+                best
+            }
+            RoutingPolicy::Feedback => {
+                // Queue depth ÷ available capacity: a shard at half
+                // capacity looks twice as deep. Crashed shards are
+                // already excluded from `eligible`.
+                let score = |s: usize| {
+                    pending_demand(&self.inflight[s]) / self.plan.capacity_fraction(s, now)
+                };
+                let mut best = eligible[0];
+                let mut best_score = score(best);
+                for &s in &eligible[1..] {
+                    let sc = score(s);
+                    if sc.total_cmp(&best_score) == Ordering::Less {
+                        best_score = sc;
+                        best = s;
+                    }
+                }
+                best
+            }
+        };
+        let slot = self.streams[shard].len() as u32;
+        self.streams[shard].push(job);
+        self.alive[shard].push(true);
+        let d_us = job.deadline.as_micros();
+        let w = &mut self.inflight[shard];
+        // Deadline-sorted insert; equal deadlines keep arrival order.
+        // For an agreeable stream with no retries this is the back.
+        let pos = w.partition_point(|&(d, _, _)| d <= d_us);
+        w.insert(pos, (d_us, job.demand, slot));
+        Some(shard)
+    }
+}
+
+/// Assign every job of the release-sorted stream to a shard, under a
+/// fault plan, with stranded-job failover.
+///
+/// This is a deterministic sequential pre-pass over the merged event
+/// stream of original arrivals, retry re-releases, and crash instants
+/// (ties resolve crash → arrival → retry). At a crash, every job still
+/// in the crashed shard's in-flight window is stranded: removed from
+/// the shard's stream, recorded as a redispatch, and re-released at
+/// `crash + retry_delay` with its *original* deadline (the retry eats
+/// the job's slack). A re-release past the job's deadline or the
+/// horizon — or an arrival while every shard is crashed — drops the
+/// job. Conservation: `routed(shard streams) + dropped = arrivals`.
+pub fn dispatch_with_faults(
+    jobs: &JobSet,
+    shards: usize,
+    routing: &RoutingPolicy,
+    model: &dyn PowerModel,
+    plan: &FaultPlan,
+    end: SimTime,
+) -> DispatchPlan {
+    assert!(shards > 0, "a cluster needs at least one shard");
+    assert_eq!(plan.shards(), shards, "fault plan must cover every shard");
+    let mut router = Router {
+        routing,
+        model,
+        plan,
+        shards,
+        inflight: vec![InFlight::new(); shards],
+        streams: vec![Vec::new(); shards],
+        alive: vec![Vec::new(); shards],
+        rr: 0,
+        rng: match routing {
+            RoutingPolicy::Random { seed } => Some(StdRng::seed_from_u64(*seed)),
+            _ => None,
+        },
+    };
+
+    let stored: Vec<Job> = jobs.iter().copied().collect();
+    let crash_events: Vec<(SimTime, usize)> = plan
+        .crash_starts()
+        .into_iter()
+        .filter(|&(t, _)| t < end)
+        .collect();
+    let mut crash_idx = 0usize;
+    let mut next_orig = 0usize;
+    // Retries keyed by (release, deadline, id): BTreeMap order is the
+    // deterministic re-release order.
+    let mut retries: BTreeMap<(u64, u64, u32), Job> = BTreeMap::new();
+
+    let mut assignment: Vec<u32> = Vec::with_capacity(stored.len());
+    let mut dropped: Vec<(SimTime, Job)> = Vec::new();
+    let mut redispatches: Vec<(SimTime, JobId, u32)> = Vec::new();
+    let mut retried = 0u64;
+
+    enum Step {
+        Crash,
+        Orig,
+        Retry,
+    }
+    loop {
+        let t_crash = crash_events.get(crash_idx).map(|&(t, _)| t);
+        let t_orig = stored.get(next_orig).map(|j| j.release);
+        let t_retry = retries
+            .keys()
+            .next()
+            .map(|&(r, _, _)| SimTime::from_micros(r));
+        if t_crash.is_none() && t_orig.is_none() && t_retry.is_none() {
+            break;
+        }
+        let tc = t_crash.unwrap_or(SimTime::MAX);
+        let to = t_orig.unwrap_or(SimTime::MAX);
+        let tr = t_retry.unwrap_or(SimTime::MAX);
+        let step = if tc <= to && tc <= tr {
+            Step::Crash
+        } else if to <= tr {
+            Step::Orig
+        } else {
+            Step::Retry
+        };
+        match step {
+            Step::Crash => {
+                let (c, shard) = crash_events[crash_idx];
+                crash_idx += 1;
+                let c_us = c.as_micros();
+                let w = &mut router.inflight[shard];
+                // Jobs whose deadlines already passed completed before
+                // the crash; the rest are stranded.
+                while w.front().is_some_and(|&(d, _, _)| d <= c_us) {
+                    w.pop_front();
+                }
+                for (_, _, slot) in w.drain(..) {
+                    let job = router.streams[shard][slot as usize];
+                    router.alive[shard][slot as usize] = false;
+                    redispatches.push((c, job.id, shard as u32));
+                    let new_release = c + plan.retry_delay();
+                    if new_release >= job.deadline || new_release > end {
+                        dropped.push((c, job));
+                    } else {
+                        retries.insert(
+                            (new_release.as_micros(), job.deadline.as_micros(), job.id.0),
+                            Job {
+                                release: new_release,
+                                ..job
+                            },
+                        );
+                    }
+                }
+            }
+            Step::Orig => {
+                let job = stored[next_orig];
+                next_orig += 1;
+                match router.admit(job) {
+                    Some(s) => assignment.push(s as u32),
+                    None => {
+                        assignment.push(u32::MAX);
+                        dropped.push((job.release, job));
+                    }
+                }
+            }
+            Step::Retry => {
+                let (_, job) = retries.pop_first().expect("retry queue is non-empty");
+                match router.admit(job) {
+                    Some(_) => retried += 1,
+                    None => dropped.push((job.release, job)),
+                }
+            }
+        }
+    }
+
+    let shard_jobs: Vec<JobSet> = router
+        .streams
+        .into_iter()
+        .zip(router.alive)
+        .map(|(stream, alive)| {
+            let survivors: Vec<Job> = stream
+                .into_iter()
+                .zip(alive)
+                .filter_map(|(j, a)| a.then_some(j))
+                .collect();
+            // Retries keep original deadlines, so a shard's stream may
+            // not be agreeable; the engine does not require it, and
+            // `new_unchecked` applies the same (release, deadline, id)
+            // sort as the validated constructor.
+            JobSet::new_unchecked(survivors)
+        })
+        .collect();
+    debug_assert_eq!(
+        shard_jobs.iter().map(JobSet::len).sum::<usize>() + dropped.len(),
+        jobs.len(),
+        "every arrival routed exactly once or dropped"
+    );
+
+    DispatchPlan {
+        shard_jobs,
+        assignment,
+        dropped,
+        redispatches,
+        retried,
+    }
+}
+
+/// Assign every job of the release-sorted stream to a shard (the
+/// fault-free path).
 ///
 /// Returns one shard index per job, in the job set's stored
 /// `(release, deadline, id)` order. This is a deterministic sequential
@@ -149,63 +498,8 @@ pub fn route(
     routing: &RoutingPolicy,
     model: &dyn PowerModel,
 ) -> Vec<u32> {
-    assert!(shards > 0, "a cluster needs at least one shard");
-    let mut inflight: Vec<InFlight> = vec![InFlight::new(); shards];
-    let mut rr = 0usize;
-    let mut rng = match routing {
-        RoutingPolicy::Random { seed } => Some(StdRng::seed_from_u64(*seed)),
-        _ => None,
-    };
-    let mut out = Vec::with_capacity(jobs.len());
-    for job in jobs.iter() {
-        let now_us = job.release.as_micros();
-        // Retire expired in-flight entries everywhere, so counts and
-        // probes see only live work. Windows are deadline-FIFO.
-        for w in &mut inflight {
-            while w.front().is_some_and(|&(d, _)| d <= now_us) {
-                w.pop_front();
-            }
-        }
-        let shard = match routing {
-            RoutingPolicy::RoundRobin => {
-                let s = rr;
-                rr = (rr + 1) % shards;
-                s
-            }
-            RoutingPolicy::Random { .. } => {
-                let u: f64 = rng.as_mut().expect("random routing carries an rng").gen();
-                ((u * shards as f64) as usize).min(shards - 1)
-            }
-            RoutingPolicy::Jsq => {
-                // Strict `<` keeps the lowest index on ties.
-                let mut best = 0usize;
-                for (i, w) in inflight.iter().enumerate().skip(1) {
-                    if w.len() < inflight[best].len() {
-                        best = i;
-                    }
-                }
-                best
-            }
-            RoutingPolicy::LeastEnergy => {
-                let cand = (job.deadline.as_micros(), job.demand);
-                let mut best = 0usize;
-                let mut best_delta = f64::INFINITY;
-                for (i, w) in inflight.iter().enumerate() {
-                    let before = model.dynamic_power(probe_speed(w, now_us, None));
-                    let after = model.dynamic_power(probe_speed(w, now_us, Some(cand)));
-                    let delta = after - before;
-                    if delta < best_delta {
-                        best_delta = delta;
-                        best = i;
-                    }
-                }
-                best
-            }
-        };
-        inflight[shard].push_back((job.deadline.as_micros(), job.demand));
-        out.push(shard as u32);
-    }
-    out
+    let plan = FaultPlan::none(shards);
+    dispatch_with_faults(jobs, shards, routing, model, &plan, SimTime::MAX).assignment
 }
 
 /// Split a job set into per-shard job sets according to a [`route`]
@@ -231,7 +525,7 @@ pub struct ShardRun {
     /// The shard's derived seed ([`split_seed`] of the cluster base
     /// seed, unless overridden).
     pub seed: u64,
-    /// The shard machine's simulation report.
+    /// The shard machine's simulation report (fault epochs merged).
     pub report: SimReport,
     /// Metered wall-energy reading of this shard's schedule, when the
     /// engine carries a [`PowerMeter`] (noise stream seeded by
@@ -250,12 +544,27 @@ pub struct ClusterReport {
     pub merged: SimReport,
     /// Per-shard reports, indexed by shard.
     pub shards: Vec<ShardRun>,
+    /// Jobs the dispatcher dropped: arrivals with no eligible shard, or
+    /// stranded jobs whose retry re-release was infeasible. Zero on the
+    /// fault-free path.
+    pub jobs_dropped: u64,
+    /// Stranded-job re-releases successfully routed to a surviving
+    /// shard. Zero on the fault-free path.
+    pub jobs_retried: u64,
+    /// Max-quality mass of the dropped jobs — what a healthy cluster
+    /// could have earned from them. Feeds
+    /// [`ClusterReport::degraded_quality`].
+    pub dropped_max_quality: f64,
 }
 
 impl ClusterReport {
-    /// Total metered energy, if every shard was metered (summed in
-    /// shard order).
+    /// Total metered energy, if the cluster has shards and every shard
+    /// was metered (summed in shard order). An empty shard list was
+    /// never metered, so it reports `None`, not `Some(0.0)`.
     pub fn measured_energy(&self) -> Option<f64> {
+        if self.shards.is_empty() {
+            return None;
+        }
         self.shards
             .iter()
             .map(|s| s.measured_energy)
@@ -281,7 +590,21 @@ impl ClusterReport {
             .unwrap_or(0)
     }
 
-    /// Export the merged report plus per-shard gauges into a registry.
+    /// Degraded-mode normalized quality: earned quality over the
+    /// quality a fault-free cluster could have earned *including* the
+    /// jobs the dispatcher dropped. Equal to
+    /// `merged.normalized_quality()` when nothing was dropped.
+    pub fn degraded_quality(&self) -> f64 {
+        let denom = self.merged.max_quality + self.dropped_max_quality;
+        if denom > 0.0 {
+            self.merged.total_quality / denom
+        } else {
+            1.0
+        }
+    }
+
+    /// Export the merged report plus per-shard and fault gauges into a
+    /// registry.
     pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
         self.merged.export_metrics(reg);
         for s in &self.shards {
@@ -298,6 +621,9 @@ impl ClusterReport {
                 s.report.jobs_total() as f64,
             );
         }
+        reg.set_gauge("cluster.jobs_dropped", self.jobs_dropped as f64);
+        reg.set_gauge("cluster.jobs_retried", self.jobs_retried as f64);
+        reg.set_gauge("cluster.degraded_quality", self.degraded_quality());
         if let Some(e) = self.measured_energy() {
             reg.set_gauge("cluster.measured_energy", e);
         }
@@ -329,12 +655,32 @@ fn add_counters(into: &mut SimCounters, from: &SimCounters) {
     into.plans_kept += plans_kept;
 }
 
+/// Re-timestamps an epoch simulation's events from epoch-local time to
+/// absolute cluster time. With `base == ZERO` (the fault-free single
+/// epoch) the mapping is the identity on integer microseconds, so the
+/// fault-free event stream is untouched.
+struct OffsetObserver<'a, O> {
+    inner: &'a mut O,
+    base: SimTime,
+}
+
+impl<O: Observer> Observer for OffsetObserver<'_, O> {
+    const ENABLED: bool = O::ENABLED;
+
+    #[inline]
+    fn record(&mut self, at: SimTime, event: Event) {
+        self.inner
+            .record(self.base + at.saturating_since(SimTime::ZERO), event);
+    }
+}
+
 /// A cluster of `N` identical simulated machines behind one dispatcher.
 ///
 /// Each shard runs the unmodified [`Simulator`] over its routed slice of
 /// the arrival stream with its own policy instance; shards execute in
 /// parallel on the rayon pool and merge deterministically (see the
-/// module docs for the contract).
+/// module docs for the contract). An optional [`FaultPlan`] injects
+/// crash/brownout windows per shard.
 #[derive(Clone, Debug)]
 pub struct ClusterEngine {
     shards: usize,
@@ -342,11 +688,12 @@ pub struct ClusterEngine {
     seed: u64,
     shard_seeds: Option<Vec<u64>>,
     meter: Option<PowerMeter>,
+    fault: FaultPlan,
 }
 
 impl ClusterEngine {
     /// A cluster of `shards` machines, round-robin routing, base seed 0,
-    /// no metering.
+    /// no metering, no faults.
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "a cluster needs at least one shard");
         ClusterEngine {
@@ -355,6 +702,7 @@ impl ClusterEngine {
             seed: 0,
             shard_seeds: None,
             meter: None,
+            fault: FaultPlan::none(shards),
         }
     }
 
@@ -386,6 +734,19 @@ impl ClusterEngine {
         self
     }
 
+    /// Builder: inject a deterministic fault plan. The plan must cover
+    /// exactly this cluster's shards. [`FaultPlan::none`] (the default)
+    /// is bitwise-identical to the fault-free path.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        assert_eq!(
+            plan.shards(),
+            self.shards,
+            "fault plan must cover every shard"
+        );
+        self.fault = plan;
+        self
+    }
+
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards
@@ -394,6 +755,11 @@ impl ClusterEngine {
     /// The routing policy.
     pub fn routing(&self) -> &RoutingPolicy {
         &self.routing
+    }
+
+    /// The injected fault plan ([`FaultPlan::none`] by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
     }
 
     /// The seed shard `i` runs with.
@@ -406,7 +772,8 @@ impl ClusterEngine {
 
     /// Run the cluster: route `jobs`, simulate every shard (in parallel)
     /// on a machine configured like `cfg`, merge. `make_policy(i)`
-    /// builds shard `i`'s scheduling policy.
+    /// builds shard `i`'s scheduling policy (one fresh instance per
+    /// fault epoch).
     pub fn run<F>(&self, cfg: &SimConfig<'_>, jobs: &JobSet, make_policy: F) -> ClusterReport
     where
         F: Fn(usize) -> Box<dyn SchedulingPolicy> + Sync + Send,
@@ -418,10 +785,12 @@ impl ClusterEngine {
     /// [`ClusterEngine::run`] with one observer per shard, built by
     /// `make_observer(i)` and returned in shard order. Each shard's
     /// event stream opens with a shard-tagged
-    /// [`Event::ShardAssign`]; metered runs additionally tag their
-    /// [`Event::PowerSample`]s with the shard index. Observers are
-    /// passive: the cluster report is bitwise-identical with or without
-    /// them.
+    /// [`Event::ShardAssign`]; fault windows bracket their epochs with
+    /// [`Event::ShardDown`]/[`Event::ShardUp`], crashes report their
+    /// stranded jobs as [`Event::Redispatch`], and metered runs tag
+    /// their [`Event::PowerSample`]s with the shard index. Observers
+    /// are passive: the cluster report is bitwise-identical with or
+    /// without them.
     pub fn run_observed<O, F, M>(
         &self,
         cfg: &SimConfig<'_>,
@@ -434,18 +803,24 @@ impl ClusterEngine {
         F: Fn(usize) -> Box<dyn SchedulingPolicy> + Sync + Send,
         M: Fn(usize) -> O + Sync + Send,
     {
-        let assignment = route(jobs, self.shards, &self.routing, cfg.model);
-        let shard_jobs = split_jobs(jobs, &assignment, self.shards);
-        debug_assert_eq!(
-            shard_jobs.iter().map(JobSet::len).sum::<usize>(),
-            jobs.len(),
-            "every arrival routed exactly once"
+        let dispatch = dispatch_with_faults(
+            jobs,
+            self.shards,
+            &self.routing,
+            cfg.model,
+            &self.fault,
+            cfg.end,
         );
+        let shard_jobs = &dispatch.shard_jobs;
+        // Group stranding records by crashed shard for event emission.
+        let mut redispatched: Vec<Vec<(SimTime, JobId)>> = vec![Vec::new(); self.shards];
+        for &(t, job, from) in &dispatch.redispatches {
+            redispatched[from as usize].push((t, job));
+        }
 
         let runs: Vec<(ShardRun, O)> = (0..self.shards)
             .into_par_iter()
             .map(|i| {
-                let mut policy = make_policy(i);
                 let mut obs = make_observer(i);
                 if O::ENABLED {
                     obs.record(
@@ -456,17 +831,16 @@ impl ClusterEngine {
                         },
                     );
                 }
-                let scfg = SimConfig {
-                    num_cores: cfg.num_cores,
-                    budget: cfg.budget,
-                    model: cfg.model,
-                    quality: cfg.quality,
-                    end: cfg.end,
-                    record_trace: cfg.record_trace || self.meter.is_some(),
-                    overhead: cfg.overhead,
-                };
-                let (report, trace) =
-                    Simulator::run_observed(&scfg, policy.as_mut(), &shard_jobs[i], &mut obs);
+                let (report, trace) = run_shard_epochs(
+                    cfg,
+                    i,
+                    &shard_jobs[i],
+                    &self.fault,
+                    &redispatched[i],
+                    &make_policy,
+                    self.meter.is_some(),
+                    &mut obs,
+                );
                 let seed = self.shard_seed(i);
                 let measured = self.meter.as_ref().map(|m| {
                     let m = PowerMeter { seed, ..m.clone() };
@@ -514,23 +888,205 @@ impl ClusterEngine {
             self.routing.label(),
             shards[0].report.policy
         );
+        let dropped_max_quality: f64 = dispatch
+            .dropped
+            .iter()
+            .map(|(_, j)| cfg.quality.max_job_quality(j))
+            .sum();
 
         (
             ClusterReport {
                 routing: self.routing.label().to_string(),
                 merged,
                 shards,
+                jobs_dropped: dispatch.dropped.len() as u64,
+                jobs_retried: dispatch.retried,
+                dropped_max_quality,
             },
             observers,
         )
     }
 }
 
+/// Run one shard's simulation as a sequence of fault epochs and merge
+/// the epoch reports.
+///
+/// Each epoch runs the plain engine in *epoch-local* time (releases and
+/// deadlines shifted by the epoch start, horizon = epoch length) so
+/// engine-internal anchors like the quantum tick grid behave exactly as
+/// in a fresh run; an [`OffsetObserver`] re-timestamps events and the
+/// returned trace slices back to absolute time. Brownout epochs run on
+/// [`effective_cores`] and a proportionally reduced power budget; crash
+/// epochs run nothing (routing plus stranding guarantee they hold no
+/// jobs). Jobs spanning a non-final epoch boundary are truncated at the
+/// boundary (drain-on-reconfigure: the shard settles in-flight work
+/// when its capacity state changes). With no fault windows this is one
+/// healthy epoch over `[0, end)` — bitwise the fault-free path.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_epochs<O, F>(
+    cfg: &SimConfig<'_>,
+    shard: usize,
+    jobs: &JobSet,
+    plan: &FaultPlan,
+    redispatched: &[(SimTime, JobId)],
+    make_policy: &F,
+    metered: bool,
+    obs: &mut O,
+) -> (SimReport, SimTrace)
+where
+    O: Observer,
+    F: Fn(usize) -> Box<dyn SchedulingPolicy> + Sync + Send,
+{
+    let epochs = plan.epochs(shard, cfg.end);
+    let all: Vec<Job> = jobs.iter().copied().collect();
+    let mut cursor = 0usize;
+    let mut redisp = redispatched.iter().peekable();
+    let mut merged: Option<SimReport> = None;
+    let mut full_trace = SimTrace::default();
+
+    for (k, ep) in epochs.iter().enumerate() {
+        let is_final = k + 1 == epochs.len();
+        if O::ENABLED {
+            if let Some(kind) = ep.fault {
+                let outage = match kind {
+                    FaultKind::Crash => OutageKind::Crash,
+                    FaultKind::Brownout { .. } => OutageKind::Brownout,
+                };
+                obs.record(
+                    ep.start,
+                    Event::ShardDown {
+                        shard: shard as u32,
+                        kind: outage,
+                    },
+                );
+            }
+        }
+        // Epoch membership is by release; the final epoch also takes
+        // any arrivals at or past the horizon (the engine screens them
+        // exactly as the fault-free path does).
+        let hi = if is_final {
+            all.len()
+        } else {
+            cursor + all[cursor..].partition_point(|j| j.release < ep.end)
+        };
+        let slice = &all[cursor..hi];
+        cursor = hi;
+
+        if matches!(ep.fault, Some(FaultKind::Crash)) {
+            // Routing never targets a crashed shard and the dispatch
+            // pass stranded everything caught by the crash, so a crash
+            // epoch holds no simulatable jobs.
+            debug_assert!(
+                slice.iter().all(|j| j.release >= cfg.end),
+                "job released inside a crash epoch"
+            );
+            if O::ENABLED {
+                while let Some(&&(t, job)) = redisp.peek() {
+                    if t == ep.start {
+                        obs.record(
+                            t,
+                            Event::Redispatch {
+                                job,
+                                from: shard as u32,
+                            },
+                        );
+                        redisp.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        } else {
+            let (cores, budget) = match ep.fault {
+                Some(FaultKind::Brownout { loss }) => (
+                    effective_cores(cfg.num_cores, loss),
+                    cfg.budget * (1.0 - loss),
+                ),
+                _ => (cfg.num_cores, cfg.budget),
+            };
+            let local_end = SimTime::ZERO + ep.end.saturating_since(ep.start);
+            let local_jobs: Vec<Job> = slice
+                .iter()
+                .map(|j| {
+                    // Drain-on-reconfigure: a job spanning a non-final
+                    // epoch boundary settles (with whatever quality its
+                    // processed fraction earned) when the capacity
+                    // state changes.
+                    let deadline = if !is_final && j.deadline > ep.end {
+                        ep.end
+                    } else {
+                        j.deadline
+                    };
+                    Job {
+                        release: SimTime::ZERO + j.release.saturating_since(ep.start),
+                        deadline: SimTime::ZERO + deadline.saturating_since(ep.start),
+                        ..*j
+                    }
+                })
+                .collect();
+            let local_set = JobSet::new_unchecked(local_jobs);
+            let scfg = SimConfig {
+                num_cores: cores,
+                budget,
+                model: cfg.model,
+                quality: cfg.quality,
+                end: local_end,
+                record_trace: cfg.record_trace || metered,
+                overhead: cfg.overhead,
+            };
+            let mut policy = make_policy(shard);
+            let mut off = OffsetObserver {
+                inner: obs,
+                base: ep.start,
+            };
+            let (rep, trace) =
+                Simulator::run_observed(&scfg, policy.as_mut(), &local_set, &mut off);
+            for s in trace.slices() {
+                full_trace.push(TraceSlice {
+                    start: ep.start + s.start.saturating_since(SimTime::ZERO),
+                    end: ep.start + s.end.saturating_since(SimTime::ZERO),
+                    ..*s
+                });
+            }
+            merged = Some(match merged {
+                None => rep,
+                Some(mut m) => {
+                    m.total_quality += rep.total_quality;
+                    m.max_quality += rep.max_quality;
+                    m.energy_joules += rep.energy_joules;
+                    add_counters(&mut m.counters, &rep.counters);
+                    m
+                }
+            });
+        }
+        if O::ENABLED && ep.fault.is_some() && ep.end < cfg.end {
+            obs.record(
+                ep.end,
+                Event::ShardUp {
+                    shard: shard as u32,
+                },
+            );
+        }
+    }
+
+    let mut report = merged.unwrap_or_else(|| SimReport {
+        // The shard was down for the whole run: an empty report under
+        // the policy's name.
+        policy: make_policy(shard).name(),
+        ..SimReport::default()
+    });
+    // Epoch horizons are local; the shard's report spans the full run.
+    report.sim_seconds = cfg.end.as_secs_f64();
+    (report, full_trace)
+}
+
 /// Meter one shard's executed schedule: replay the recorded trace as a
 /// per-core speed profile, price it through the machine's *dynamic*
 /// power curve (matching [`SimReport::energy_joules`]'s scope), and let
 /// the shard's [`PowerMeter`] sample it. `PowerSample` events carry the
-/// shard index as their node tag.
+/// shard index as their node tag. A crashed or browned-out stretch
+/// simply has no (or fewer) trace slices, so the metered draw falls
+/// with the outage.
 fn measured_shard_energy<O: Observer>(
     meter: &PowerMeter,
     model: &dyn PowerModel,
@@ -573,6 +1129,7 @@ fn measured_shard_energy<O: Observer>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultWindow;
     use qes_core::power::PolynomialPower;
     use qes_core::time::SimDuration;
 
@@ -654,6 +1211,52 @@ mod tests {
     }
 
     #[test]
+    fn least_energy_ties_break_to_lowest_index() {
+        // Five identical simultaneous jobs over three shards: equal
+        // probe deltas tie toward the lowest index, and convexity keeps
+        // stacking costlier than spreading — the assignment cycles.
+        let jobs = JobSet::new(
+            (0..5)
+                .map(|i| Job::new(i, SimTime::ZERO, SimTime::from_millis(150), 300.0).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let a = route(
+            &jobs,
+            3,
+            &RoutingPolicy::LeastEnergy,
+            &PolynomialPower::PAPER_SIM,
+        );
+        assert_eq!(a, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn least_energy_survives_nan_power_models() {
+        // A degenerate model whose probe deltas are all NaN: total_cmp
+        // still yields a deterministic lowest-index choice, no panic.
+        struct NanPower;
+        impl PowerModel for NanPower {
+            fn dynamic_power(&self, _s: f64) -> f64 {
+                f64::NAN
+            }
+            fn static_power(&self) -> f64 {
+                0.0
+            }
+            fn speed_for_dynamic_power(&self, _p: f64) -> f64 {
+                0.0
+            }
+        }
+        let jobs = stream(20, 1, 100.0);
+        let a = route(&jobs, 4, &RoutingPolicy::LeastEnergy, &NanPower);
+        assert_eq!(a.len(), jobs.len());
+        assert!(a.iter().all(|&s| s < 4));
+        assert_eq!(a, route(&jobs, 4, &RoutingPolicy::LeastEnergy, &NanPower));
+        // NaN sorts above every finite delta under total_cmp, so every
+        // decision is the all-tie lowest-index pick: shard 0.
+        assert!(a.iter().all(|&s| s == 0));
+    }
+
+    #[test]
     fn random_routing_is_deterministic_per_seed_and_in_range() {
         let jobs = stream(50, 2, 150.0);
         let r = RoutingPolicy::Random { seed: 9 };
@@ -668,6 +1271,143 @@ mod tests {
             &PolynomialPower::PAPER_SIM,
         );
         assert_ne!(a, c, "different seed should reshuffle some assignment");
+    }
+
+    #[test]
+    fn feedback_without_faults_routes_least_pending_demand() {
+        // Two simultaneous arrivals spread (tie -> 0, then 1); a third
+        // goes where pending demand is lowest, not where the count is.
+        let jobs = JobSet::new(vec![
+            Job::new(0, SimTime::ZERO, SimTime::from_millis(150), 300.0).unwrap(),
+            Job::new(1, SimTime::ZERO, SimTime::from_millis(150), 100.0).unwrap(),
+            Job::new(2, SimTime::from_millis(1), SimTime::from_millis(151), 100.0).unwrap(),
+        ])
+        .unwrap();
+        let a = route(
+            &jobs,
+            2,
+            &RoutingPolicy::Feedback,
+            &PolynomialPower::PAPER_SIM,
+        );
+        // Shard 0 carries 300 units, shard 1 only 100: the third job
+        // joins shard 1 even though the job counts tie.
+        assert_eq!(a, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn feedback_skips_crashed_and_sheds_from_browned_out_shards() {
+        let jobs = stream(12, 1, 100.0);
+        let horizon = SimTime::from_secs(1);
+        // Shard 0 crashed, shard 1 at 40 % capacity, shard 2 healthy.
+        let plan = FaultPlan::none(3)
+            .with_window(
+                0,
+                FaultWindow {
+                    start: SimTime::ZERO,
+                    end: horizon,
+                    kind: FaultKind::Crash,
+                },
+            )
+            .with_window(
+                1,
+                FaultWindow {
+                    start: SimTime::ZERO,
+                    end: horizon,
+                    kind: FaultKind::Brownout { loss: 0.6 },
+                },
+            );
+        let d = dispatch_with_faults(
+            &jobs,
+            3,
+            &RoutingPolicy::Feedback,
+            &PolynomialPower::PAPER_SIM,
+            &plan,
+            horizon,
+        );
+        assert!(d.assignment.iter().all(|&s| s != 0), "crashed shard used");
+        let to_healthy = d.assignment.iter().filter(|&&s| s == 2).count();
+        let to_browned = d.assignment.iter().filter(|&&s| s == 1).count();
+        assert!(
+            to_healthy > to_browned,
+            "feedback should shed load from the browned-out shard \
+             ({to_browned} browned vs {to_healthy} healthy)"
+        );
+        assert!(d.dropped.is_empty());
+    }
+
+    #[test]
+    fn crash_strands_and_retries_in_flight_jobs() {
+        // Two shards; shard 0 crashes at 50 ms. Jobs arriving before
+        // the crash alternate 0/1 (round-robin); jobs on shard 0 with
+        // deadlines past the crash are stranded and re-released 10 ms
+        // later onto shard 1.
+        let jobs = stream(4, 20, 100.0); // releases 0, 20, 40, 60 ms
+        let horizon = SimTime::from_secs(1);
+        let plan = FaultPlan::none(2)
+            .with_window(
+                0,
+                FaultWindow {
+                    start: SimTime::from_millis(50),
+                    end: horizon,
+                    kind: FaultKind::Crash,
+                },
+            )
+            .with_retry_delay(SimDuration::from_millis(10));
+        let d = dispatch_with_faults(
+            &jobs,
+            2,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+            &plan,
+            horizon,
+        );
+        // Jobs 0 and 2 went to shard 0 and were stranded at 50 ms
+        // (deadlines 150/190 ms are past the crash).
+        assert_eq!(d.redispatches.len(), 2);
+        assert_eq!(d.retried, 2);
+        assert!(d.dropped.is_empty());
+        // Every survivor lives on shard 1; conservation holds.
+        assert_eq!(d.shard_jobs[0].len(), 0);
+        assert_eq!(d.shard_jobs[1].len(), 4);
+        // Retried copies keep their original deadlines but release at
+        // crash + delay.
+        let retried: Vec<&Job> = d.shard_jobs[1]
+            .iter()
+            .filter(|j| j.release == SimTime::from_millis(60) && j.id.0 != 3)
+            .collect();
+        assert_eq!(retried.len(), 2);
+        assert!(retried.iter().all(|j| j.deadline
+            == SimTime::from_millis(150) + SimDuration::from_millis(20 * (j.id.0 as u64 / 2) * 2)
+            || j.deadline > j.release));
+    }
+
+    #[test]
+    fn infeasible_retries_and_total_outages_drop_jobs() {
+        // One shard, crashed from 10 ms to the horizon: the in-flight
+        // job is stranded with nowhere to go, and later arrivals find
+        // no eligible shard at all.
+        let jobs = stream(3, 20, 100.0); // releases 0, 20, 40 ms
+        let horizon = SimTime::from_secs(1);
+        let plan = FaultPlan::none(1).with_window(
+            0,
+            FaultWindow {
+                start: SimTime::from_millis(10),
+                end: horizon,
+                kind: FaultKind::Crash,
+            },
+        );
+        let d = dispatch_with_faults(
+            &jobs,
+            1,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+            &plan,
+            horizon,
+        );
+        assert_eq!(d.shard_jobs[0].len(), 0);
+        assert_eq!(d.dropped.len(), 3, "stranded + 2 blocked arrivals");
+        assert_eq!(d.retried, 0);
+        assert_eq!(d.assignment, vec![0, u32::MAX, u32::MAX]);
     }
 
     #[test]
@@ -687,13 +1427,81 @@ mod tests {
     fn probe_speed_matches_hand_computation() {
         let mut w = InFlight::new();
         // 100 units due in 100 ms, 50 more due in 200 ms (cum 150).
-        w.push_back((100_000, 100.0));
-        w.push_back((200_000, 50.0));
+        w.push_back((100_000, 100.0, 0));
+        w.push_back((200_000, 50.0, 1));
         let s = probe_speed(&w, 0, None);
         // max(100/100ms, 150/200ms) = max(1.0, 0.75) GHz.
         assert!((s - 1.0).abs() < 1e-12, "{s}");
         let s2 = probe_speed(&w, 0, Some((200_000, 150.0)));
         // cum 300 over 200 ms = 1.5 GHz.
         assert!((s2 - 1.5).abs() < 1e-12, "{s2}");
+    }
+
+    #[test]
+    fn probe_speed_clamps_zero_slack_windows() {
+        // A window entry due exactly "now" used to underflow
+        // `d_us - now_us` (debug panic, release wraparound); the clamp
+        // prices it over the 1 µs floor instead.
+        let mut w = InFlight::new();
+        w.push_back((1_000, 100.0, 0));
+        let s = probe_speed(&w, 1_000, None);
+        assert!(s.is_finite());
+        assert!((s - 100_000.0).abs() < 1e-6, "{s}");
+        // A candidate whose deadline is already past must not divide by
+        // zero or wrap around either.
+        let s2 = probe_speed(&w, 2_000, Some((1_500, 50.0)));
+        assert!(s2.is_finite());
+        assert!(s2 > 0.0);
+    }
+
+    #[test]
+    fn measured_energy_is_none_for_empty_or_partially_metered_clusters() {
+        let base = ClusterReport {
+            routing: "jsq".into(),
+            merged: SimReport::default(),
+            shards: Vec::new(),
+            jobs_dropped: 0,
+            jobs_retried: 0,
+            dropped_max_quality: 0.0,
+        };
+        // An empty cluster was never metered.
+        assert_eq!(base.measured_energy(), None);
+
+        let run = |energy: Option<f64>| ShardRun {
+            shard: 0,
+            seed: 0,
+            report: SimReport::default(),
+            measured_energy: energy,
+        };
+        let metered = ClusterReport {
+            shards: vec![run(Some(1.5)), run(Some(2.5))],
+            ..base.clone()
+        };
+        assert_eq!(metered.measured_energy(), Some(4.0));
+        let partial = ClusterReport {
+            shards: vec![run(Some(1.5)), run(None)],
+            ..base
+        };
+        assert_eq!(partial.measured_energy(), None);
+    }
+
+    #[test]
+    fn degraded_quality_counts_dropped_mass() {
+        let mut rep = ClusterReport {
+            routing: "feedback".into(),
+            merged: SimReport {
+                total_quality: 6.0,
+                max_quality: 8.0,
+                ..SimReport::default()
+            },
+            shards: Vec::new(),
+            jobs_dropped: 2,
+            jobs_retried: 1,
+            dropped_max_quality: 2.0,
+        };
+        // 6 earned out of (8 simulated + 2 dropped) possible.
+        assert!((rep.degraded_quality() - 0.6).abs() < 1e-12);
+        rep.dropped_max_quality = 0.0;
+        assert!((rep.degraded_quality() - rep.merged.normalized_quality()).abs() < 1e-12);
     }
 }

@@ -28,9 +28,14 @@
 //!   dispatcher ([`dispatch::route`]) splitting one arrival stream over N
 //!   independent simulated machines, and [`dispatch::ClusterEngine`]
 //!   running the per-shard simulations in parallel and merging their
-//!   reports (determinism contract in DESIGN.md §9).
+//!   reports (determinism contract in DESIGN.md §9);
+//! * [`fault`] — deterministic fault injection: seeded per-shard
+//!   crash/brownout windows ([`fault::FaultPlan`]) that the dispatcher
+//!   routes around and the engine simulates as capacity epochs, with
+//!   stranded-job failover (DESIGN.md §10).
 
 pub mod dispatch;
+pub mod fault;
 pub mod meter;
 pub mod nodes;
 pub mod regression;
@@ -38,10 +43,14 @@ pub mod replay;
 pub mod spec;
 
 pub use dispatch::{
-    route, split_jobs, split_seed, ClusterEngine, ClusterReport, RoutingPolicy, ShardRun,
+    dispatch_with_faults, route, split_jobs, split_seed, ClusterEngine, ClusterReport,
+    DispatchPlan, RoutingPolicy, ShardRun,
 };
+pub use fault::{effective_cores, Epoch, FaultKind, FaultPlan, FaultWindow};
 pub use meter::PowerMeter;
-pub use nodes::{node_breakdown, node_of_core, NodeEnergy, NodeMeterArray};
+pub use nodes::{
+    node_breakdown, node_breakdown_with_outages, node_of_core, NodeEnergy, NodeMeterArray,
+};
 pub use regression::{fit_power_model, FitReport};
 pub use replay::{exact_energy, measured_energy};
 pub use spec::ClusterSpec;

@@ -16,6 +16,7 @@ use qes_sim::trace::SimTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fault::{effective_cores, FaultKind, FaultPlan};
 use crate::meter::PowerMeter;
 use crate::spec::ClusterSpec;
 
@@ -70,6 +71,39 @@ pub fn node_breakdown(trace: &SimTrace, spec: &ClusterSpec, end: SimTime) -> Vec
         let extra = (spec.core_power(s.speed) - spec.idle_power).max(0.0);
         nodes[node].active_joules += extra * secs;
         nodes[node].busy_core_secs += secs;
+    }
+    nodes
+}
+
+/// [`node_breakdown`] under a per-node [`FaultPlan`] (one plan "shard"
+/// per node): a crashed node draws nothing during its outage windows,
+/// and a browned-out node only pays the idle floor for the cores that
+/// stay powered. Active slices are charged as recorded — a faulted
+/// node's shard runs fewer (or no) slices, so the reduction shows up in
+/// the trace itself. With [`FaultPlan::none`] this is exactly
+/// [`node_breakdown`].
+pub fn node_breakdown_with_outages(
+    trace: &SimTrace,
+    spec: &ClusterSpec,
+    end: SimTime,
+    plan: &FaultPlan,
+) -> Vec<NodeEnergy> {
+    assert_eq!(plan.shards(), spec.nodes, "one fault lane per node");
+    let mut nodes = node_breakdown(trace, spec, end);
+    for (node, n) in nodes.iter_mut().enumerate() {
+        for w in plan.windows(node) {
+            let lo = w.start.min(end);
+            let hi = w.end.min(end);
+            let secs = hi.saturating_since(lo).as_secs_f64();
+            let cores_off = match w.kind {
+                FaultKind::Crash => spec.cores_per_node,
+                FaultKind::Brownout { loss } => {
+                    spec.cores_per_node - effective_cores(spec.cores_per_node, loss)
+                }
+            };
+            n.idle_joules -= spec.idle_power * cores_off as f64 * secs;
+        }
+        n.idle_joules = n.idle_joules.max(0.0);
     }
     nodes
 }
@@ -232,6 +266,45 @@ mod tests {
             .map(|n| n.total())
             .sum();
         assert!((flat - sum).abs() < 1e-9, "{flat} vs {sum}");
+    }
+
+    #[test]
+    fn outage_breakdown_matches_plain_without_faults_and_credits_idle() {
+        use crate::fault::{FaultKind, FaultPlan, FaultWindow};
+        let s = spec();
+        let end = SimTime::from_secs(1);
+        let plain = node_breakdown(&trace(), &s, end);
+        let none = node_breakdown_with_outages(&trace(), &s, end, &FaultPlan::none(2));
+        for (a, b) in plain.iter().zip(&none) {
+            assert_eq!(a.idle_joules.to_bits(), b.idle_joules.to_bits());
+            assert_eq!(a.active_joules.to_bits(), b.active_joules.to_bits());
+        }
+        // Node 1 crashed for the second half: half its idle floor gone.
+        let plan = FaultPlan::none(2).with_window(
+            1,
+            FaultWindow {
+                start: SimTime::from_millis(500),
+                end,
+                kind: FaultKind::Crash,
+            },
+        );
+        let faulted = node_breakdown_with_outages(&trace(), &s, end, &plan);
+        assert!((faulted[1].idle_joules - 0.5 * plain[1].idle_joules).abs() < 1e-9);
+        assert_eq!(
+            faulted[0].idle_joules.to_bits(),
+            plain[0].idle_joules.to_bits()
+        );
+        // A 50 % brownout of a 2-core node powers off one core.
+        let brown = FaultPlan::none(2).with_window(
+            0,
+            FaultWindow {
+                start: SimTime::ZERO,
+                end,
+                kind: FaultKind::Brownout { loss: 0.5 },
+            },
+        );
+        let browned = node_breakdown_with_outages(&trace(), &s, end, &brown);
+        assert!((browned[0].idle_joules - 0.5 * plain[0].idle_joules).abs() < 1e-9);
     }
 
     #[test]

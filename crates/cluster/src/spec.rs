@@ -45,6 +45,18 @@ impl ClusterSpec {
         self.nodes * self.cores_per_node
     }
 
+    /// The spec of this cluster under a brownout that powers off a
+    /// `loss` fraction of each node's cores (at least one core per node
+    /// stays up — the floor [`effective_cores`] applies per node).
+    ///
+    /// [`effective_cores`]: crate::fault::effective_cores
+    pub fn browned_out(&self, loss: f64) -> Self {
+        ClusterSpec {
+            cores_per_node: crate::fault::effective_cores(self.cores_per_node, loss),
+            ..self.clone()
+        }
+    }
+
     /// Total power (W) a core draws at `speed` (0 ⇒ idle draw).
     pub fn core_power(&self, speed: f64) -> f64 {
         if speed <= 0.0 {
@@ -64,6 +76,17 @@ mod tests {
         let c = ClusterSpec::paper_validation();
         assert_eq!(c.total_cores(), 16);
         assert_eq!(ClusterSpec::full_cluster().total_cores(), 64);
+    }
+
+    #[test]
+    fn browned_out_powers_down_cores_with_a_floor() {
+        let c = ClusterSpec::paper_validation();
+        // 8 cores/node at 50 % loss -> 4 cores/node, 8 total.
+        assert_eq!(c.browned_out(0.5).total_cores(), 8);
+        // Extreme loss never drops below one core per node.
+        assert_eq!(c.browned_out(0.999).cores_per_node, 1);
+        // Zero loss is the identity.
+        assert_eq!(c.browned_out(0.0).total_cores(), c.total_cores());
     }
 
     #[test]

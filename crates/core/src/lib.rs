@@ -40,8 +40,8 @@ pub use gantt::{render_gantt, GanttOptions};
 pub use job::{Job, JobId, JobSet};
 pub use metric::QualityEnergy;
 pub use obs::{
-    DequeueKind, Event, MetricsRegistry, NoopObserver, Observer, SettleOutcome, TraceObserver,
-    TriggerCause,
+    DequeueKind, Event, MetricsRegistry, NoopObserver, Observer, OutageKind, SettleOutcome,
+    TraceObserver, TriggerCause,
 };
 pub use piecewise::PiecewiseLinearQuality;
 pub use power::{DiscreteSpeedSet, PolynomialPower, PowerModel};

@@ -37,6 +37,9 @@
 //! | `power_sample`   | node index                      | watts             |
 //! | `policy_counter` | counter name                    | counter value     |
 //! | `shard_assign`   | shard index                     | jobs routed       |
+//! | `shard_down`     | shard index                     | `crash`/`brownout` |
+//! | `shard_up`       | shard index                     |                   |
+//! | `redispatch`     | job id                          | crashed shard     |
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -116,6 +119,26 @@ impl SettleOutcome {
     }
 }
 
+/// What kind of capacity loss a shard outage event reports (mirrors the
+/// cluster fault plan's window kinds without a crate dependency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutageKind {
+    /// Total outage: the shard accepts no work while down.
+    Crash,
+    /// Partial outage: the shard runs on reduced cores/budget.
+    Brownout,
+}
+
+impl OutageKind {
+    /// Stable lowercase label used in the CSV serialization.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutageKind::Crash => "crash",
+            OutageKind::Brownout => "brownout",
+        }
+    }
+}
+
 /// A single observability event. `Copy`, allocation-free, cheap to
 /// construct — hot paths build these only when `O::ENABLED`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -191,6 +214,26 @@ pub enum Event {
         /// Number of jobs routed to this shard.
         jobs: u32,
     },
+    /// A fault window opened on a shard (cluster fault injection).
+    ShardDown {
+        /// Shard index (0-based).
+        shard: u32,
+        /// Crash (total outage) or brownout (reduced capacity).
+        kind: OutageKind,
+    },
+    /// A fault window closed: the shard is back at full capacity.
+    ShardUp {
+        /// Shard index (0-based).
+        shard: u32,
+    },
+    /// A job stranded on a crashed shard was re-released to the
+    /// dispatcher for re-routing to a surviving shard.
+    Redispatch {
+        /// The stranded job.
+        job: JobId,
+        /// The shard that crashed under it.
+        from: u32,
+    },
 }
 
 impl Event {
@@ -208,6 +251,9 @@ impl Event {
             Event::PowerSample { .. } => "power_sample",
             Event::PolicyCounter { .. } => "policy_counter",
             Event::ShardAssign { .. } => "shard_assign",
+            Event::ShardDown { .. } => "shard_down",
+            Event::ShardUp { .. } => "shard_up",
+            Event::Redispatch { .. } => "redispatch",
         }
     }
 
@@ -231,6 +277,11 @@ impl Event {
             Event::PowerSample { node, watts } => format!("{t},power_sample,{node},{watts:?}"),
             Event::PolicyCounter { name, value } => format!("{t},policy_counter,{name},{value}"),
             Event::ShardAssign { shard, jobs } => format!("{t},shard_assign,{shard},{jobs}"),
+            Event::ShardDown { shard, kind } => {
+                format!("{t},shard_down,{shard},{}", kind.label())
+            }
+            Event::ShardUp { shard } => format!("{t},shard_up,{shard},"),
+            Event::Redispatch { job, from } => format!("{t},redispatch,{},{from}", job.0),
         }
     }
 }
@@ -490,6 +541,15 @@ impl Observer for MetricsRegistry {
                 self.inc("cluster.shard.jobs", jobs as u64);
                 self.set_gauge(format!("cluster.shard{shard}.routed_jobs"), jobs as f64);
             }
+            Event::ShardDown { kind, .. } => {
+                self.inc("cluster.shard.down", 1);
+                match kind {
+                    OutageKind::Crash => self.inc("cluster.shard.down.crash", 1),
+                    OutageKind::Brownout => self.inc("cluster.shard.down.brownout", 1),
+                }
+            }
+            Event::ShardUp { .. } => self.inc("cluster.shard.up", 1),
+            Event::Redispatch { .. } => self.inc("cluster.redispatch", 1),
         }
     }
 }
@@ -725,11 +785,25 @@ mod tests {
             }
             .to_csv_row(SimTime::from_micros(30)),
             Event::ShardAssign { shard: 2, jobs: 77 }.to_csv_row(SimTime::from_micros(40)),
+            Event::ShardDown {
+                shard: 1,
+                kind: OutageKind::Crash,
+            }
+            .to_csv_row(SimTime::from_micros(50)),
+            Event::ShardUp { shard: 1 }.to_csv_row(SimTime::from_micros(60)),
+            Event::Redispatch {
+                job: JobId(9),
+                from: 1,
+            }
+            .to_csv_row(SimTime::from_micros(70)),
         ];
         assert_eq!(rows[0], "10,dequeue,plan_end,");
         assert_eq!(rows[1], "20,settle,3,partial");
         assert_eq!(rows[2], "30,power_sample,1,12.5");
         assert_eq!(rows[3], "40,shard_assign,2,77");
+        assert_eq!(rows[4], "50,shard_down,1,crash");
+        assert_eq!(rows[5], "60,shard_up,1,");
+        assert_eq!(rows[6], "70,redispatch,9,1");
     }
 
     #[test]
@@ -740,6 +814,38 @@ mod tests {
         assert_eq!(reg.counter("cluster.shard.assignments"), 2);
         assert_eq!(reg.counter("cluster.shard.jobs"), 17);
         assert_eq!(reg.gauge("cluster.shard1.routed_jobs"), Some(7.0));
+    }
+
+    #[test]
+    fn fault_events_fold_into_registry() {
+        let mut reg = MetricsRegistry::new();
+        reg.record(
+            SimTime::ZERO,
+            Event::ShardDown {
+                shard: 0,
+                kind: OutageKind::Crash,
+            },
+        );
+        reg.record(
+            SimTime::from_millis(1),
+            Event::ShardDown {
+                shard: 1,
+                kind: OutageKind::Brownout,
+            },
+        );
+        reg.record(SimTime::from_millis(2), Event::ShardUp { shard: 0 });
+        reg.record(
+            SimTime::from_millis(2),
+            Event::Redispatch {
+                job: JobId(4),
+                from: 0,
+            },
+        );
+        assert_eq!(reg.counter("cluster.shard.down"), 2);
+        assert_eq!(reg.counter("cluster.shard.down.crash"), 1);
+        assert_eq!(reg.counter("cluster.shard.down.brownout"), 1);
+        assert_eq!(reg.counter("cluster.shard.up"), 1);
+        assert_eq!(reg.counter("cluster.redispatch"), 1);
     }
 
     #[test]

@@ -13,14 +13,14 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use qes_experiments::figures::{
-    ablation, cluster, competitive, demand_dist, diurnal, fig01, fig02, fig03, fig04, fig05, fig06,
-    fig07, fig08, fig09, fig10, fig11, tail, triggers, FigOptions,
+    ablation, cluster, cluster_faults, competitive, demand_dist, diurnal, fig01, fig02, fig03,
+    fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, tail, triggers, FigOptions,
 };
 use qes_experiments::report::FigureReport;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: figures <fig01..fig11|ablation|cluster|diurnal|tail|competitive|triggers|demand_dist|all> [--full] [--seed N] [--out DIR]\n\
+        "usage: figures <fig01..fig11|ablation|cluster|cluster_faults|diurnal|tail|competitive|triggers|demand_dist|all> [--full] [--seed N] [--out DIR]\n\
          \n\
          --full    paper-scale runs (1800 s horizon; pair with --release)\n\
          --seed N  workload seed (default 42)\n\
@@ -71,6 +71,7 @@ fn main() -> ExitCode {
         "fig11",
         "ablation",
         "cluster",
+        "cluster_faults",
         "diurnal",
         "tail",
         "competitive",
@@ -101,6 +102,7 @@ fn main() -> ExitCode {
             "fig11" => fig11::run(&opt),
             "ablation" => ablation::run(&opt),
             "cluster" => cluster::run(&opt),
+            "cluster_faults" => cluster_faults::run(&opt),
             "diurnal" => diurnal::run(&opt),
             "tail" => tail::run(&opt),
             "competitive" => competitive::run(&opt),

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod cluster;
+pub mod cluster_faults;
 pub mod common;
 pub mod competitive;
 pub mod demand_dist;

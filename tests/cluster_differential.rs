@@ -19,9 +19,28 @@
 //! * **Seed-split independence.** Shard seeds derive from a SplitMix64
 //!   split; re-seeding one shard's meter leaves every other shard's
 //!   metered reading (and all reports) bit-identical.
+//!
+//! The fault layer's contract (DESIGN.md §10):
+//!
+//! * **Zero faults ≡ the fault-free path, bitwise.** An engine carrying
+//!   [`FaultPlan::none`] produces reports bit-identical to the engine
+//!   without a plan, across the whole routing matrix (round-robin, JSQ,
+//!   least-energy, feedback).
+//! * **Seeded fault runs are bitwise reproducible** at any lane count
+//!   and across repeats — faults are sampled before the run, never
+//!   during it.
+//! * **Conservation under faults.** Every arrival is either simulated
+//!   on some shard or counted in `jobs_dropped`:
+//!   `merged.jobs_total() + jobs_dropped == arrivals`.
+//! * **Failover routes around crashes.** No job is assigned to a shard
+//!   inside one of its crash windows, and stranded jobs reappear on
+//!   surviving shards (`jobs_retried`).
 
-use qes::cluster::{route, split_seed, ClusterEngine, PowerMeter, RoutingPolicy};
-use qes::core::{ExpQuality, Job, JobSet, PolynomialPower, SimDuration, SimTime};
+use qes::cluster::{
+    dispatch_with_faults, route, split_seed, ClusterEngine, FaultKind, FaultPlan, FaultWindow,
+    PowerMeter, RoutingPolicy,
+};
+use qes::core::{Event, ExpQuality, Job, JobSet, PolynomialPower, SimDuration, SimTime};
 use qes::multicore::differential::{DifferentialConfig, TriggerMode};
 use qes::multicore::{DesPolicy, RecomputeMode};
 use qes::sim::{SimConfig, SimReport, Simulator};
@@ -277,6 +296,222 @@ fn reseeding_one_shard_leaves_the_others_bit_identical() {
         (measured - exact).abs() / exact.max(1.0) < 0.10,
         "measured {measured} vs exact {exact}"
     );
+}
+
+fn routing_matrix() -> [RoutingPolicy; 4] {
+    [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::Jsq,
+        RoutingPolicy::LeastEnergy,
+        RoutingPolicy::Feedback,
+    ]
+}
+
+/// A hand-built plan with real impact on an 8-second run: shard 0
+/// crashes mid-run, shard 1 browns out to 40 % capacity for a stretch.
+fn crashy_plan() -> FaultPlan {
+    FaultPlan::none(4)
+        .with_window(
+            0,
+            FaultWindow {
+                start: SimTime::from_secs(2),
+                end: SimTime::from_secs(5),
+                kind: FaultKind::Crash,
+            },
+        )
+        .with_window(
+            1,
+            FaultWindow {
+                start: SimTime::from_secs(3),
+                end: SimTime::from_secs(6),
+                kind: FaultKind::Brownout { loss: 0.6 },
+            },
+        )
+}
+
+#[test]
+fn zero_fault_plan_is_bitwise_identical_to_fault_free_path() {
+    let (jobs, end) = workload();
+    let quality = ExpQuality::new(0.003);
+    let cfg = sim_cfg(&quality, end);
+    for routing in routing_matrix() {
+        let plain = ClusterEngine::new(4)
+            .with_routing(routing.clone())
+            .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()));
+        let faultless = ClusterEngine::new(4)
+            .with_routing(routing.clone())
+            .with_fault_plan(FaultPlan::none(4))
+            .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()));
+        let ctx = routing.label();
+        assert_reports_bitwise(&plain.merged, &faultless.merged, ctx);
+        for (a, b) in plain.shards.iter().zip(faultless.shards.iter()) {
+            assert_reports_bitwise(&a.report, &b.report, &format!("{ctx}/shard {}", a.shard));
+        }
+        assert_eq!(faultless.jobs_dropped, 0, "{ctx}");
+        assert_eq!(faultless.jobs_retried, 0, "{ctx}");
+        assert_eq!(faultless.dropped_max_quality, 0.0, "{ctx}");
+        assert_eq!(
+            faultless.degraded_quality().to_bits(),
+            faultless.merged.normalized_quality().to_bits(),
+            "{ctx}: degraded quality must collapse to normalized quality"
+        );
+    }
+}
+
+#[test]
+fn seeded_fault_run_is_bitwise_reproducible_across_lane_counts() {
+    let (jobs, end) = diurnal_workload();
+    let quality = ExpQuality::new(0.003);
+    let cfg = sim_cfg(&quality, end);
+    let plan = FaultPlan::seeded(4, SimTime::from_secs(end), 99, 3.0, 1.0, 0.5);
+    assert!(plan.has_faults(), "seeded plan drew no fault windows");
+    // Same seed ⇒ same plan, window for window.
+    assert_eq!(
+        plan,
+        FaultPlan::seeded(4, SimTime::from_secs(end), 99, 3.0, 1.0, 0.5)
+    );
+
+    let run_with = |threads: usize| {
+        rayon::with_threads(threads, || {
+            ClusterEngine::new(4)
+                .with_routing(RoutingPolicy::Feedback)
+                .with_fault_plan(plan.clone())
+                .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()))
+        })
+    };
+    let lane1 = run_with(1);
+    let lane4 = run_with(4);
+    assert_reports_bitwise(&lane1.merged, &lane4.merged, "merged");
+    for (a, b) in lane1.shards.iter().zip(lane4.shards.iter()) {
+        assert_reports_bitwise(&a.report, &b.report, &format!("shard {}", a.shard));
+    }
+    assert_eq!(lane1.jobs_dropped, lane4.jobs_dropped);
+    assert_eq!(lane1.jobs_retried, lane4.jobs_retried);
+    assert_eq!(
+        lane1.dropped_max_quality.to_bits(),
+        lane4.dropped_max_quality.to_bits()
+    );
+    // Run-to-run reproducibility at the same lane count.
+    let again = run_with(4);
+    assert_reports_bitwise(&lane4.merged, &again.merged, "repeat");
+    assert_eq!(lane4.jobs_dropped, again.jobs_dropped);
+    assert_eq!(lane4.jobs_retried, again.jobs_retried);
+}
+
+#[test]
+fn faulted_runs_conserve_jobs_and_surface_drops_and_retries() {
+    let (jobs, end) = workload();
+    let quality = ExpQuality::new(0.003);
+    let cfg = sim_cfg(&quality, end);
+    let plan = crashy_plan();
+    for routing in routing_matrix() {
+        let rep = ClusterEngine::new(4)
+            .with_routing(routing.clone())
+            .with_fault_plan(plan.clone())
+            .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()));
+        let ctx = routing.label();
+        // Conservation: simulated + dropped = arrivals.
+        assert_eq!(
+            rep.merged.jobs_total() as u64 + rep.jobs_dropped,
+            jobs.len() as u64,
+            "{ctx}"
+        );
+        // The crash strands in-flight work: the retry path must fire.
+        assert!(rep.jobs_retried > 0, "{ctx}: no stranded job was retried");
+        // With three survivors nothing should be unroutable.
+        assert_eq!(rep.jobs_dropped, 0, "{ctx}");
+        // Degraded quality stays a valid ratio.
+        let dq = rep.degraded_quality();
+        assert!((0.0..=1.0).contains(&dq), "{ctx}: degraded quality {dq}");
+    }
+}
+
+#[test]
+fn fault_dispatch_never_targets_a_crashed_shard() {
+    let (jobs, _) = workload();
+    let plan = crashy_plan();
+    for routing in routing_matrix() {
+        let d = dispatch_with_faults(&jobs, 4, &routing, &MODEL, &plan, SimTime::from_secs(10));
+        let ctx = routing.label();
+        for (job, &s) in jobs.iter().zip(&d.assignment) {
+            if s == u32::MAX {
+                continue;
+            }
+            assert!(
+                !plan.is_crashed(s as usize, job.release),
+                "{ctx}: job {} released at {:?} routed to crashed shard {s}",
+                job.id.0,
+                job.release
+            );
+        }
+        // Retried jobs land on live shards only: every job in shard 0's
+        // final stream must release outside its crash window.
+        for j in d.shard_jobs[0].iter() {
+            assert!(!plan.is_crashed(0, j.release), "{ctx}: job {}", j.id.0);
+        }
+        // Conservation at the dispatch level.
+        let routed: usize = d.shard_jobs.iter().map(|s| s.len()).sum();
+        assert_eq!(routed + d.dropped.len(), jobs.len(), "{ctx}");
+    }
+}
+
+#[test]
+fn traced_faulted_run_is_bitwise_identical_and_emits_fault_events() {
+    use qes::core::TraceObserver;
+    let (jobs, end) = workload();
+    let quality = ExpQuality::new(0.003);
+    let cfg = sim_cfg(&quality, end);
+    let engine = ClusterEngine::new(4)
+        .with_routing(RoutingPolicy::Feedback)
+        .with_fault_plan(crashy_plan());
+    let make_policy =
+        |_: usize| Box::new(DesPolicy::new()) as Box<dyn qes::multicore::SchedulingPolicy>;
+
+    let plain = engine.run(&cfg, &jobs, make_policy);
+    let (traced, observers) =
+        engine.run_observed(&cfg, &jobs, make_policy, |_| TraceObserver::new());
+    assert_reports_bitwise(&plain.merged, &traced.merged, "observer must be passive");
+    assert_eq!(plain.jobs_dropped, traced.jobs_dropped);
+    assert_eq!(plain.jobs_retried, traced.jobs_retried);
+
+    // Shard 0 (crash) and shard 1 (brownout) must bracket their outages
+    // with down/up events; the crash must report its stranded jobs.
+    let count = |i: usize, pred: &dyn Fn(&Event) -> bool| {
+        observers[i]
+            .events()
+            .iter()
+            .filter(|(_, e)| pred(e))
+            .count()
+    };
+    assert_eq!(count(0, &|e| matches!(e, Event::ShardDown { .. })), 1);
+    assert_eq!(count(0, &|e| matches!(e, Event::ShardUp { .. })), 1);
+    assert_eq!(count(1, &|e| matches!(e, Event::ShardDown { .. })), 1);
+    assert_eq!(count(1, &|e| matches!(e, Event::ShardUp { .. })), 1);
+    let redispatched = count(0, &|e| matches!(e, Event::Redispatch { .. }));
+    assert_eq!(
+        redispatched as u64,
+        traced.jobs_retried + traced.jobs_dropped
+    );
+    // Healthy shards emit no fault events.
+    for i in [2usize, 3] {
+        assert_eq!(
+            count(i, &|e| matches!(
+                e,
+                Event::ShardDown { .. } | Event::ShardUp { .. } | Event::Redispatch { .. }
+            )),
+            0,
+            "shard {i}"
+        );
+    }
+    // Per-shard event timestamps stay non-decreasing across epoch
+    // boundaries (the offset re-basing must not fold time backwards).
+    for (i, obs) in observers.iter().enumerate() {
+        let mut last = SimTime::ZERO;
+        for (t, e) in obs.events() {
+            assert!(t >= last, "shard {i}: time went backwards at {e:?}");
+            last = t;
+        }
+    }
 }
 
 #[test]

@@ -18,6 +18,18 @@
 //! epochs (full / browned-out / down). Dropped and retried jobs are
 //! surfaced on the [`ClusterReport`].
 //!
+//! Overload protection (see `admission`) layers three more mechanisms
+//! into the same pre-pass, all pure functions of pre-run data:
+//! deadline-aware **admission control** (reject hopeless arrivals into
+//! a `jobs_rejected` class distinct from the fault path's drops),
+//! **retry budgets** with exponential backoff and seeded jitter
+//! (stranded jobs give up cleanly into `jobs_dropped` when the budget
+//! or the deadline is exhausted), and deterministic **request hedging**
+//! (once a slack fraction elapses, dispatch a second copy to the
+//! next-best healthy shard; the first copy to finish wins, the loser is
+//! charged to energy but not quality). The default
+//! [`OverloadPolicy`] degenerates to the PR 9 path by construction.
+//!
 //! # Determinism contract
 //!
 //! * **Routing is a sequential pre-pass.** Shard assignment — and all
@@ -78,21 +90,27 @@
 //!   routing; under brownouts it sheds load away from degraded shards.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One hedged job's `(id, processed, quality)` as observed on a shard,
+/// fed to the first-wins duel settlement in the merge.
+type DuelOutcome = (u32, f64, f64);
 
 use qes_core::job::{Job, JobId, JobSet};
 use qes_core::obs::{Event, NoopObserver, Observer, OutageKind};
 use qes_core::power::PowerModel;
+use qes_core::quality::{ExpQuality, QualityFunction};
 use qes_core::time::SimTime;
 use qes_core::MetricsRegistry;
 use qes_multicore::SchedulingPolicy;
-use qes_sim::engine::{SimConfig, Simulator};
+use qes_sim::engine::{demand_met, SimConfig, Simulator};
 use qes_sim::report::{SimCounters, SimReport};
 use qes_sim::trace::{SimTrace, TraceSlice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
+use crate::admission::{AdmissionPolicy, HedgePolicy, OverloadPolicy, RetryPolicy};
 use crate::fault::{effective_cores, FaultKind, FaultPlan};
 use crate::meter::PowerMeter;
 
@@ -180,29 +198,65 @@ fn pending_demand(window: &InFlight) -> f64 {
     window.iter().map(|&(_, w, _)| w).sum()
 }
 
+/// One hedge dispatch: a second copy of a slow job sent to another
+/// shard ([`dispatch_protected`] with [`HedgePolicy::SlackFraction`]).
+#[derive(Clone, Copy, Debug)]
+pub struct HedgeRecord {
+    /// The instant the hedge copy was dispatched.
+    pub at: SimTime,
+    /// The hedged job (original release and deadline).
+    pub job: Job,
+    /// Shard holding the primary copy at dispatch time.
+    pub from: u32,
+    /// Shard the hedge copy went to.
+    pub to: u32,
+    /// Stream slot of the primary copy on `from`.
+    pub primary_slot: u32,
+    /// Stream slot of the hedge copy on `to`.
+    pub hedge_slot: u32,
+    /// True when both copies survived to simulation (neither was
+    /// stranded by a later crash): the merged report must settle the
+    /// duel with first-wins accounting.
+    pub duel: bool,
+}
+
 /// The outcome of the fault-aware dispatch pre-pass
-/// ([`dispatch_with_faults`]).
+/// ([`dispatch_with_faults`] / [`dispatch_protected`]).
 #[derive(Clone, Debug)]
 pub struct DispatchPlan {
     /// Final per-shard job streams: original arrivals plus surviving
-    /// retry re-releases, minus stranded copies, sorted by
-    /// `(release, deadline, id)`. Retries keep their original deadline,
-    /// so the retry eats the job's slack (streams may lose
-    /// agreeability; the per-shard engine does not require it).
+    /// retry re-releases and hedge copies, minus stranded copies,
+    /// sorted by `(release, deadline, id)`. Retries and hedge copies
+    /// keep their original deadline, so the delay eats the job's slack
+    /// (streams may lose agreeability; the per-shard engine does not
+    /// require it).
     pub shard_jobs: Vec<JobSet>,
     /// Shard of each *original* job in stream order, `u32::MAX` when
     /// the dispatcher dropped it (no eligible shard at release, or a
-    /// later stranding with an infeasible retry).
+    /// later stranding with an infeasible retry) or the admission
+    /// policy rejected it (the `dropped`/`rejected` lists distinguish
+    /// the two).
     pub assignment: Vec<u32>,
     /// Jobs the dispatcher dropped, with the drop instant.
     pub dropped: Vec<(SimTime, Job)>,
+    /// Jobs the admission policy rejected at arrival, with the
+    /// rejection instant. Always empty under
+    /// [`AdmissionPolicy::AcceptAll`].
+    pub rejected: Vec<(SimTime, Job)>,
     /// Stranding records `(crash instant, job, crashed shard)`, in
     /// crash order — one per stranded copy, whether or not the retry
-    /// later succeeded.
+    /// later succeeded (a stranded copy of a hedged pair whose twin
+    /// survives is recorded here too, then silently cancelled).
     pub redispatches: Vec<(SimTime, JobId, u32)>,
     /// Retry re-releases that were successfully routed to a surviving
     /// shard.
     pub retried: u64,
+    /// Hedge dispatches, in fire order.
+    pub hedges: Vec<HedgeRecord>,
+    /// Dispatcher-level observability events (admission rejects, retry
+    /// re-releases, hedge dispatches) in scan order — timestamps are
+    /// non-decreasing, ready to replay into an [`Observer`].
+    pub events: Vec<(SimTime, Event)>,
 }
 
 /// Mutable routing state shared by every arrival of the dispatch scan.
@@ -210,32 +264,103 @@ struct Router<'a> {
     routing: &'a RoutingPolicy,
     model: &'a dyn PowerModel,
     plan: &'a FaultPlan,
+    quality: &'a dyn QualityFunction,
+    admission: &'a AdmissionPolicy,
     shards: usize,
     inflight: Vec<InFlight>,
     /// Per-shard routed-job stream (in routing order) and whether each
     /// entry is still alive (not stranded by a later crash).
     streams: Vec<Vec<Job>>,
     alive: Vec<Vec<bool>>,
+    /// Backpressure hysteresis: whether each shard is currently
+    /// shedding (in-flight demand crossed the cap and has not yet
+    /// drained to the resume level). All-false under every other
+    /// admission policy.
+    shedding: Vec<bool>,
     rr: usize,
     rng: Option<StdRng>,
 }
 
 impl Router<'_> {
-    /// Route one arrival (original or retry) at its release instant.
-    /// Returns the chosen shard, or `None` when every shard is crashed.
-    fn admit(&mut self, job: Job) -> Option<usize> {
-        let now = job.release;
-        let now_us = now.as_micros();
-        // Retire expired in-flight entries everywhere, so counts and
-        // probes see only live work. Windows are deadline-FIFO.
+    /// Retire expired in-flight entries everywhere, so counts and
+    /// probes see only live work. Windows are deadline-FIFO.
+    fn retire(&mut self, now_us: u64) {
         for w in &mut self.inflight {
             while w.front().is_some_and(|&(d, _, _)| d <= now_us) {
                 w.pop_front();
             }
         }
-        let eligible: Vec<usize> = (0..self.shards)
+    }
+
+    /// Shards accepting work at `now` (not inside a crash window).
+    fn eligible_at(&self, now: SimTime) -> Vec<usize> {
+        (0..self.shards)
             .filter(|&s| !self.plan.is_crashed(s, now))
-            .collect();
+            .collect()
+    }
+
+    /// Overload-admission verdict for one *original* arrival (retries
+    /// and hedge copies always bypass admission). Call after
+    /// [`Router::retire`] so windows reflect only live work. Updates
+    /// the backpressure hysteresis state as a side effect.
+    fn admits(&mut self, job: &Job, eligible: &[usize]) -> bool {
+        let now = job.release;
+        let now_us = now.as_micros();
+        match *self.admission {
+            AdmissionPolicy::AcceptAll => true,
+            AdmissionPolicy::SlackFloor {
+                floor,
+                capacity_ghz,
+            } => {
+                let q_max = self.quality.max_job_quality(job);
+                // NaN-safe: a NaN or zero-mass max quality admits.
+                if q_max.partial_cmp(&0.0) != Some(Ordering::Greater) {
+                    // A zero-mass job can't fall below any floor.
+                    return true;
+                }
+                let cand = (job.deadline.as_micros(), job.demand);
+                let mut best = 0.0f64;
+                for &s in eligible {
+                    // Required speed to clear this shard's window plus
+                    // the candidate; the shard can deliver at most its
+                    // (fault-degraded) capacity, so the achievable
+                    // completed fraction caps at eff / required.
+                    let s_req = probe_speed(&self.inflight[s], now_us, Some(cand));
+                    let eff = capacity_ghz * self.plan.capacity_fraction(s, now);
+                    let frac = if s_req > 0.0 {
+                        (eff / s_req).clamp(0.0, 1.0)
+                    } else {
+                        1.0
+                    };
+                    let q = self.quality.job_quality(job, frac * job.demand);
+                    best = best.max(q / q_max);
+                }
+                best >= floor
+            }
+            AdmissionPolicy::Backpressure { cap, resume } => {
+                debug_assert!(resume <= cap, "hysteresis band inverted");
+                for s in 0..self.shards {
+                    let depth = pending_demand(&self.inflight[s]);
+                    if self.shedding[s] {
+                        if depth <= resume {
+                            self.shedding[s] = false;
+                        }
+                    } else if depth >= cap {
+                        self.shedding[s] = true;
+                    }
+                }
+                !eligible.iter().all(|&s| self.shedding[s])
+            }
+        }
+    }
+
+    /// Route one arrival (original or retry) at its release instant.
+    /// Returns the chosen shard, or `None` when every shard is crashed.
+    fn admit(&mut self, job: Job) -> Option<usize> {
+        let now = job.release;
+        let now_us = now.as_micros();
+        self.retire(now_us);
+        let eligible = self.eligible_at(now);
         if eligible.is_empty() {
             return None;
         }
@@ -325,15 +450,13 @@ impl Router<'_> {
 /// Assign every job of the release-sorted stream to a shard, under a
 /// fault plan, with stranded-job failover.
 ///
-/// This is a deterministic sequential pre-pass over the merged event
-/// stream of original arrivals, retry re-releases, and crash instants
-/// (ties resolve crash → arrival → retry). At a crash, every job still
-/// in the crashed shard's in-flight window is stranded: removed from
-/// the shard's stream, recorded as a redispatch, and re-released at
-/// `crash + retry_delay` with its *original* deadline (the retry eats
-/// the job's slack). A re-release past the job's deadline or the
-/// horizon — or an arrival while every shard is crashed — drops the
-/// job. Conservation: `routed(shard streams) + dropped = arrivals`.
+/// This is [`dispatch_protected`] under the default [`OverloadPolicy`]
+/// — accept everything, retry forever at the plan's fixed delay, never
+/// hedge — which degenerates to the PR 9 fault-failover pre-pass by
+/// construction: `rejected` and `hedges` stay empty and every retry
+/// re-release lands at exactly `crash + retry_delay`. The quality
+/// function is never consulted under [`AdmissionPolicy::AcceptAll`].
+/// Conservation: `routed(shard streams) + dropped = arrivals`.
 pub fn dispatch_with_faults(
     jobs: &JobSet,
     shards: usize,
@@ -342,16 +465,75 @@ pub fn dispatch_with_faults(
     plan: &FaultPlan,
     end: SimTime,
 ) -> DispatchPlan {
+    dispatch_protected(
+        jobs,
+        shards,
+        routing,
+        model,
+        &ExpQuality::PAPER_DEFAULT,
+        plan,
+        &OverloadPolicy::default(),
+        end,
+    )
+}
+
+/// Assign every job of the release-sorted stream to a shard, under a
+/// fault plan *and* an overload-protection policy.
+///
+/// A deterministic sequential pre-pass over the merged event stream of
+/// original arrivals, retry re-releases, crash instants, and hedge fire
+/// instants (ties resolve crash → arrival → retry → hedge). On top of
+/// the fault-failover semantics of [`dispatch_with_faults`]:
+///
+/// * **Admission** (`overload.admission`): each *original* arrival is
+///   screened before routing; a rejected job gets assignment
+///   `u32::MAX` and lands in `rejected` (never `dropped` — the two
+///   classes stay disjoint). Retries and hedge copies bypass
+///   admission: the cluster has already invested in them.
+/// * **Retry budget** (`overload.retry`): a stranded copy's attempt
+///   counter increments per strand; past `max_attempts` it gives up
+///   into `dropped`. Otherwise it re-releases after
+///   [`RetryPolicy::delay_for`] (exponential backoff, seeded jitter),
+///   keeping its original deadline.
+/// * **Hedging** (`overload.hedge`): when an original is routed and
+///   the slack-fraction instant lands strictly inside `(release,
+///   deadline)` and before the horizon, a hedge copy fires at that
+///   instant *iff the primary is still alive*, to the lowest-scoring
+///   healthy shard other than the primary's (feedback score: pending
+///   demand ÷ capacity fraction). A stranded copy whose twin survives
+///   is cancelled silently (recorded in `redispatches`, not retried or
+///   dropped); a hedge pair with both copies alive at the end is a
+///   *duel* the report merge settles first-wins.
+///
+/// Conservation: `routed(shard streams) + dropped + rejected =
+/// arrivals + duels`.
+#[allow(clippy::too_many_arguments)]
+pub fn dispatch_protected(
+    jobs: &JobSet,
+    shards: usize,
+    routing: &RoutingPolicy,
+    model: &dyn PowerModel,
+    quality: &dyn QualityFunction,
+    plan: &FaultPlan,
+    overload: &OverloadPolicy,
+    end: SimTime,
+) -> DispatchPlan {
     assert!(shards > 0, "a cluster needs at least one shard");
     assert_eq!(plan.shards(), shards, "fault plan must cover every shard");
+    let retry_policy = &overload.retry;
+    let hedging = !overload.hedge.is_disabled();
+    let screened = !matches!(overload.admission, AdmissionPolicy::AcceptAll);
     let mut router = Router {
         routing,
         model,
         plan,
+        quality,
+        admission: &overload.admission,
         shards,
         inflight: vec![InFlight::new(); shards],
         streams: vec![Vec::new(); shards],
         alive: vec![Vec::new(); shards],
+        shedding: vec![false; shards],
         rr: 0,
         rng: match routing {
             RoutingPolicy::Random { seed } => Some(StdRng::seed_from_u64(*seed)),
@@ -367,19 +549,34 @@ pub fn dispatch_with_faults(
         .collect();
     let mut crash_idx = 0usize;
     let mut next_orig = 0usize;
-    // Retries keyed by (release, deadline, id): BTreeMap order is the
-    // deterministic re-release order.
-    let mut retries: BTreeMap<(u64, u64, u32), Job> = BTreeMap::new();
+    // Retries keyed by (release, deadline, id), valued with the job's
+    // attempt number: BTreeMap order is the deterministic re-release
+    // order.
+    let mut retries: BTreeMap<(u64, u64, u32), (Job, u32)> = BTreeMap::new();
+    // Strand count per original job id (the retry budget's meter).
+    let mut attempts: BTreeMap<u32, u32> = BTreeMap::new();
+    // Scheduled hedge fires keyed by (fire, deadline, id), valued with
+    // the job and its primary copy's location.
+    let mut hedges_pending: BTreeMap<(u64, u64, u32), (Job, usize, u32)> = BTreeMap::new();
+    // Live copy locations per job id — maintained only while hedging
+    // (the invariant "at most one alive copy per (id, shard)" holds
+    // because hedge targets always differ from the primary shard and
+    // retries fire only when no copy is alive).
+    let mut copies: BTreeMap<u32, Vec<(usize, u32)>> = BTreeMap::new();
 
     let mut assignment: Vec<u32> = Vec::with_capacity(stored.len());
     let mut dropped: Vec<(SimTime, Job)> = Vec::new();
+    let mut rejected: Vec<(SimTime, Job)> = Vec::new();
     let mut redispatches: Vec<(SimTime, JobId, u32)> = Vec::new();
     let mut retried = 0u64;
+    let mut hedges: Vec<HedgeRecord> = Vec::new();
+    let mut events: Vec<(SimTime, Event)> = Vec::new();
 
     enum Step {
         Crash,
         Orig,
         Retry,
+        Hedge,
     }
     loop {
         let t_crash = crash_events.get(crash_idx).map(|&(t, _)| t);
@@ -388,18 +585,28 @@ pub fn dispatch_with_faults(
             .keys()
             .next()
             .map(|&(r, _, _)| SimTime::from_micros(r));
-        if t_crash.is_none() && t_orig.is_none() && t_retry.is_none() {
+        let t_hedge = hedges_pending
+            .keys()
+            .next()
+            .map(|&(h, _, _)| SimTime::from_micros(h));
+        if t_crash.is_none() && t_orig.is_none() && t_retry.is_none() && t_hedge.is_none() {
             break;
         }
         let tc = t_crash.unwrap_or(SimTime::MAX);
         let to = t_orig.unwrap_or(SimTime::MAX);
         let tr = t_retry.unwrap_or(SimTime::MAX);
-        let step = if tc <= to && tc <= tr {
+        let th = t_hedge.unwrap_or(SimTime::MAX);
+        // Tie order crash → arrival → retry → hedge; the `is_some`
+        // guards keep an exhausted stream's MAX sentinel from winning
+        // a MAX-vs-MAX tie.
+        let step = if t_crash.is_some() && tc <= to && tc <= tr && tc <= th {
             Step::Crash
-        } else if to <= tr {
+        } else if t_orig.is_some() && to <= tr && to <= th {
             Step::Orig
-        } else {
+        } else if t_retry.is_some() && tr <= th {
             Step::Retry
+        } else {
+            Step::Hedge
         };
         match step {
             Step::Crash => {
@@ -416,16 +623,37 @@ pub fn dispatch_with_faults(
                     let job = router.streams[shard][slot as usize];
                     router.alive[shard][slot as usize] = false;
                     redispatches.push((c, job.id, shard as u32));
-                    let new_release = c + plan.retry_delay();
+                    if hedging {
+                        if let Some(locs) = copies.get_mut(&job.id.0) {
+                            locs.retain(|&(s, sl)| !(s == shard && sl == slot));
+                            if !locs.is_empty() {
+                                // The twin copy survives: cancel this
+                                // strand silently — no retry, no drop.
+                                continue;
+                            }
+                        }
+                    }
+                    let attempt = attempts.entry(job.id.0).or_insert(0);
+                    *attempt += 1;
+                    if *attempt > retry_policy.max_attempts {
+                        // Retry budget exhausted: give up cleanly.
+                        dropped.push((c, job));
+                        continue;
+                    }
+                    let delay = retry_policy.delay_for(*attempt, plan.retry_delay(), job.id.0);
+                    let new_release = c + delay;
                     if new_release >= job.deadline || new_release > end {
                         dropped.push((c, job));
                     } else {
                         retries.insert(
                             (new_release.as_micros(), job.deadline.as_micros(), job.id.0),
-                            Job {
-                                release: new_release,
-                                ..job
-                            },
+                            (
+                                Job {
+                                    release: new_release,
+                                    ..job
+                                },
+                                *attempt,
+                            ),
                         );
                     }
                 }
@@ -433,8 +661,41 @@ pub fn dispatch_with_faults(
             Step::Orig => {
                 let job = stored[next_orig];
                 next_orig += 1;
+                if screened {
+                    router.retire(job.release.as_micros());
+                    let eligible = router.eligible_at(job.release);
+                    if !eligible.is_empty() && !router.admits(&job, &eligible) {
+                        assignment.push(u32::MAX);
+                        events.push((
+                            job.release,
+                            Event::AdmissionReject {
+                                job: job.id,
+                                policy: overload.admission.label(),
+                            },
+                        ));
+                        rejected.push((job.release, job));
+                        continue;
+                    }
+                }
                 match router.admit(job) {
-                    Some(s) => assignment.push(s as u32),
+                    Some(s) => {
+                        assignment.push(s as u32);
+                        if hedging {
+                            let slot = (router.streams[s].len() - 1) as u32;
+                            copies.insert(job.id.0, vec![(s, slot)]);
+                            if let HedgePolicy::SlackFraction { fraction } = overload.hedge {
+                                let r_us = job.release.as_micros();
+                                let d_us = job.deadline.as_micros();
+                                let h_us = r_us + ((d_us - r_us) as f64 * fraction) as u64;
+                                // Only hedge when the fire instant lies
+                                // strictly inside the job's window and
+                                // before the horizon.
+                                if h_us > r_us && h_us < d_us && SimTime::from_micros(h_us) < end {
+                                    hedges_pending.insert((h_us, d_us, job.id.0), (job, s, slot));
+                                }
+                            }
+                        }
+                    }
                     None => {
                         assignment.push(u32::MAX);
                         dropped.push((job.release, job));
@@ -442,14 +703,94 @@ pub fn dispatch_with_faults(
                 }
             }
             Step::Retry => {
-                let (_, job) = retries.pop_first().expect("retry queue is non-empty");
+                let (_, (job, attempt)) = retries.pop_first().expect("retry queue is non-empty");
                 match router.admit(job) {
-                    Some(_) => retried += 1,
+                    Some(s) => {
+                        retried += 1;
+                        events.push((
+                            job.release,
+                            Event::Retry {
+                                job: job.id,
+                                attempt,
+                            },
+                        ));
+                        if hedging {
+                            let slot = (router.streams[s].len() - 1) as u32;
+                            copies.insert(job.id.0, vec![(s, slot)]);
+                        }
+                    }
                     None => dropped.push((job.release, job)),
                 }
             }
+            Step::Hedge => {
+                let ((h_us, _, _), (job, p_shard, p_slot)) = hedges_pending
+                    .pop_first()
+                    .expect("hedge queue is non-empty");
+                if !router.alive[p_shard][p_slot as usize] {
+                    // The primary was stranded before the hedge fired;
+                    // the retry path owns the job now.
+                    continue;
+                }
+                let at = SimTime::from_micros(h_us);
+                router.retire(h_us);
+                // Next-best healthy shard, excluding the primary's, by
+                // feedback score (pending demand ÷ capacity fraction);
+                // the ascending scan with a strict compare keeps the
+                // lowest index on ties.
+                let mut target: Option<(usize, f64)> = None;
+                for s in 0..shards {
+                    if s == p_shard || plan.is_crashed(s, at) {
+                        continue;
+                    }
+                    let score = pending_demand(&router.inflight[s]) / plan.capacity_fraction(s, at);
+                    let better = match target {
+                        Some((_, best)) => score.total_cmp(&best) == Ordering::Less,
+                        None => true,
+                    };
+                    if better {
+                        target = Some((s, score));
+                    }
+                }
+                let Some((to_shard, _)) = target else {
+                    // No healthy twin shard: skip this hedge.
+                    continue;
+                };
+                let copy = Job { release: at, ..job };
+                let slot = router.streams[to_shard].len() as u32;
+                router.streams[to_shard].push(copy);
+                router.alive[to_shard].push(true);
+                let d_us = copy.deadline.as_micros();
+                let w = &mut router.inflight[to_shard];
+                let pos = w.partition_point(|&(d, _, _)| d <= d_us);
+                w.insert(pos, (d_us, copy.demand, slot));
+                copies.entry(job.id.0).or_default().push((to_shard, slot));
+                events.push((
+                    at,
+                    Event::Hedge {
+                        job: job.id,
+                        to: to_shard as u32,
+                    },
+                ));
+                hedges.push(HedgeRecord {
+                    at,
+                    job,
+                    from: p_shard as u32,
+                    to: to_shard as u32,
+                    primary_slot: p_slot,
+                    hedge_slot: slot,
+                    duel: false,
+                });
+            }
         }
     }
+
+    // A hedge whose both copies survived to simulation is a duel; the
+    // merged report settles it first-wins.
+    for h in &mut hedges {
+        h.duel = router.alive[h.from as usize][h.primary_slot as usize]
+            && router.alive[h.to as usize][h.hedge_slot as usize];
+    }
+    let duels = hedges.iter().filter(|h| h.duel).count();
 
     let shard_jobs: Vec<JobSet> = router
         .streams
@@ -469,17 +810,20 @@ pub fn dispatch_with_faults(
         })
         .collect();
     debug_assert_eq!(
-        shard_jobs.iter().map(JobSet::len).sum::<usize>() + dropped.len(),
-        jobs.len(),
-        "every arrival routed exactly once or dropped"
+        shard_jobs.iter().map(JobSet::len).sum::<usize>() + dropped.len() + rejected.len(),
+        jobs.len() + duels,
+        "every arrival routed exactly once, rejected, dropped, or duelling"
     );
 
     DispatchPlan {
         shard_jobs,
         assignment,
         dropped,
+        rejected,
         redispatches,
         retried,
+        hedges,
+        events,
     }
 }
 
@@ -544,17 +888,33 @@ pub struct ClusterReport {
     pub merged: SimReport,
     /// Per-shard reports, indexed by shard.
     pub shards: Vec<ShardRun>,
-    /// Jobs the dispatcher dropped: arrivals with no eligible shard, or
-    /// stranded jobs whose retry re-release was infeasible. Zero on the
-    /// fault-free path.
+    /// Jobs the dispatcher dropped: arrivals with no eligible shard,
+    /// stranded jobs whose retry re-release was infeasible, or retry
+    /// budgets exhausted. Zero on the fault-free path.
     pub jobs_dropped: u64,
     /// Stranded-job re-releases successfully routed to a surviving
     /// shard. Zero on the fault-free path.
     pub jobs_retried: u64,
+    /// Jobs the admission policy turned away at arrival — a class
+    /// disjoint from `jobs_dropped` (rejection is a *choice*; drops are
+    /// capacity/feasibility failures). Zero under
+    /// [`AdmissionPolicy::AcceptAll`].
+    pub jobs_rejected: u64,
+    /// Hedge copies dispatched by the overload policy. Zero under
+    /// [`HedgePolicy::Disabled`].
+    pub jobs_hedged: u64,
+    /// Hedge duels the *hedge copy* won (strictly better quality than
+    /// the primary; ties go to the primary).
+    pub hedges_won: u64,
     /// Max-quality mass of the dropped jobs — what a healthy cluster
     /// could have earned from them. Feeds
     /// [`ClusterReport::degraded_quality`].
     pub dropped_max_quality: f64,
+    /// Max-quality mass of the rejected jobs; like
+    /// `dropped_max_quality`, charged against
+    /// [`ClusterReport::degraded_quality`] so admission control cannot
+    /// inflate delivered quality by shrinking the denominator.
+    pub rejected_max_quality: f64,
 }
 
 impl ClusterReport {
@@ -591,11 +951,13 @@ impl ClusterReport {
     }
 
     /// Degraded-mode normalized quality: earned quality over the
-    /// quality a fault-free cluster could have earned *including* the
-    /// jobs the dispatcher dropped. Equal to
-    /// `merged.normalized_quality()` when nothing was dropped.
+    /// quality a fault-free, admit-everything cluster could have earned
+    /// *including* the jobs the dispatcher dropped or rejected. Equal
+    /// to `merged.normalized_quality()` when nothing was dropped or
+    /// rejected. A run with no quality mass at all (e.g. an empty
+    /// arrival stream) reports a NaN-free `1.0`.
     pub fn degraded_quality(&self) -> f64 {
-        let denom = self.merged.max_quality + self.dropped_max_quality;
+        let denom = self.merged.max_quality + self.dropped_max_quality + self.rejected_max_quality;
         if denom > 0.0 {
             self.merged.total_quality / denom
         } else {
@@ -623,6 +985,9 @@ impl ClusterReport {
         }
         reg.set_gauge("cluster.jobs_dropped", self.jobs_dropped as f64);
         reg.set_gauge("cluster.jobs_retried", self.jobs_retried as f64);
+        reg.set_gauge("cluster.jobs_rejected", self.jobs_rejected as f64);
+        reg.set_gauge("cluster.jobs_hedged", self.jobs_hedged as f64);
+        reg.set_gauge("cluster.hedges_won", self.hedges_won as f64);
         reg.set_gauge("cluster.degraded_quality", self.degraded_quality());
         if let Some(e) = self.measured_energy() {
             reg.set_gauge("cluster.measured_energy", e);
@@ -689,11 +1054,12 @@ pub struct ClusterEngine {
     shard_seeds: Option<Vec<u64>>,
     meter: Option<PowerMeter>,
     fault: FaultPlan,
+    overload: OverloadPolicy,
 }
 
 impl ClusterEngine {
     /// A cluster of `shards` machines, round-robin routing, base seed 0,
-    /// no metering, no faults.
+    /// no metering, no faults, no overload protection.
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "a cluster needs at least one shard");
         ClusterEngine {
@@ -703,6 +1069,7 @@ impl ClusterEngine {
             shard_seeds: None,
             meter: None,
             fault: FaultPlan::none(shards),
+            overload: OverloadPolicy::default(),
         }
     }
 
@@ -744,6 +1111,32 @@ impl ClusterEngine {
             "fault plan must cover every shard"
         );
         self.fault = plan;
+        self
+    }
+
+    /// Builder: full overload-protection policy (admission + retry
+    /// budget + hedging). The default policy is bitwise-identical to
+    /// running without one.
+    pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Builder: admission policy only (retry/hedge settings untouched).
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.overload.admission = admission;
+        self
+    }
+
+    /// Builder: retry-budget policy only.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.overload.retry = retry;
+        self
+    }
+
+    /// Builder: hedging policy only.
+    pub fn with_hedging(mut self, hedge: HedgePolicy) -> Self {
+        self.overload.hedge = hedge;
         self
     }
 
@@ -803,22 +1196,60 @@ impl ClusterEngine {
         F: Fn(usize) -> Box<dyn SchedulingPolicy> + Sync + Send,
         M: Fn(usize) -> O + Sync + Send,
     {
-        let dispatch = dispatch_with_faults(
+        self.run_observed_with_dispatch(cfg, jobs, make_policy, make_observer, &mut NoopObserver)
+    }
+
+    /// [`ClusterEngine::run_observed`] plus a *dispatcher-level*
+    /// observer: the pre-pass's admission rejects, retry re-releases,
+    /// and hedge dispatches are replayed into `dispatch_obs` (in scan
+    /// order, non-decreasing timestamps) before the shards run. Like
+    /// every observer, it is passive — the report is bitwise-identical
+    /// with a [`NoopObserver`].
+    pub fn run_observed_with_dispatch<O, F, M, D>(
+        &self,
+        cfg: &SimConfig<'_>,
+        jobs: &JobSet,
+        make_policy: F,
+        make_observer: M,
+        dispatch_obs: &mut D,
+    ) -> (ClusterReport, Vec<O>)
+    where
+        O: Observer + Send,
+        F: Fn(usize) -> Box<dyn SchedulingPolicy> + Sync + Send,
+        M: Fn(usize) -> O + Sync + Send,
+        D: Observer,
+    {
+        let dispatch = dispatch_protected(
             jobs,
             self.shards,
             &self.routing,
             cfg.model,
+            cfg.quality,
             &self.fault,
+            &self.overload,
             cfg.end,
         );
+        if D::ENABLED {
+            for &(t, e) in &dispatch.events {
+                dispatch_obs.record(t, e);
+            }
+        }
         let shard_jobs = &dispatch.shard_jobs;
         // Group stranding records by crashed shard for event emission.
         let mut redispatched: Vec<Vec<(SimTime, JobId)>> = vec![Vec::new(); self.shards];
         for &(t, job, from) in &dispatch.redispatches {
             redispatched[from as usize].push((t, job));
         }
+        // Ids of hedge duels: both copies run, so the merge must
+        // harvest their per-shard outcomes and settle first-wins.
+        let duel_ids: BTreeSet<u32> = dispatch
+            .hedges
+            .iter()
+            .filter(|h| h.duel)
+            .map(|h| h.job.id.0)
+            .collect();
 
-        let runs: Vec<(ShardRun, O)> = (0..self.shards)
+        let runs: Vec<(ShardRun, O, Vec<DuelOutcome>)> = (0..self.shards)
             .into_par_iter()
             .map(|i| {
                 let mut obs = make_observer(i);
@@ -831,12 +1262,13 @@ impl ClusterEngine {
                         },
                     );
                 }
-                let (report, trace) = run_shard_epochs(
+                let (report, trace, outcomes) = run_shard_epochs(
                     cfg,
                     i,
                     &shard_jobs[i],
                     &self.fault,
                     &redispatched[i],
+                    &duel_ids,
                     &make_policy,
                     self.meter.is_some(),
                     &mut obs,
@@ -862,15 +1294,23 @@ impl ClusterEngine {
                         measured_energy: measured,
                     },
                     obs,
+                    outcomes,
                 )
             })
             .collect();
 
         let mut shards = Vec::with_capacity(self.shards);
         let mut observers = Vec::with_capacity(self.shards);
-        for (run, obs) in runs {
+        let mut duel_outcomes: Vec<BTreeMap<u32, (f64, f64)>> = Vec::with_capacity(self.shards);
+        for (run, obs, outcomes) in runs {
             shards.push(run);
             observers.push(obs);
+            duel_outcomes.push(
+                outcomes
+                    .into_iter()
+                    .map(|(id, w, q)| (id, (w, q)))
+                    .collect(),
+            );
         }
 
         // Merge in shard order, seeded from shard 0's report so a
@@ -882,6 +1322,44 @@ impl ClusterEngine {
             merged.energy_joules += s.report.energy_joules;
             add_counters(&mut merged.counters, &s.report.counters);
         }
+
+        // First-wins settlement of hedge duels. Both copies ran and
+        // were counted once each by their shards; the cluster delivered
+        // the *better* outcome exactly once. The loser's quality,
+        // max-quality mass, and job-class count come back out of the
+        // merged report; its energy (and the scheduler bookkeeping —
+        // invocations, plans, discards) stays, because that work really
+        // happened. Quality comparison uses `total_cmp`, ties go to the
+        // primary, so the settlement is deterministic.
+        let mut hedges_won = 0u64;
+        for h in &dispatch.hedges {
+            if !h.duel {
+                continue;
+            }
+            let primary = duel_outcomes[h.from as usize].get(&h.job.id.0);
+            let hedge = duel_outcomes[h.to as usize].get(&h.job.id.0);
+            let (Some(&(pw, pq)), Some(&(hw, hq))) = (primary, hedge) else {
+                continue;
+            };
+            let hedge_wins = hq.total_cmp(&pq) == Ordering::Greater;
+            if hedge_wins {
+                hedges_won += 1;
+            }
+            let (lw, lq) = if hedge_wins { (pw, pq) } else { (hw, hq) };
+            merged.total_quality -= lq;
+            merged.max_quality -= cfg.quality.max_job_quality(&h.job);
+            merged.counters.jobs_total -= 1;
+            // Re-derive the loser's settle class exactly as the engine
+            // classified it (same tolerance, same thresholds).
+            if demand_met(lw, h.job.demand) {
+                merged.counters.jobs_satisfied -= 1;
+            } else if lw > 1e-9 {
+                merged.counters.jobs_partial -= 1;
+            } else {
+                merged.counters.jobs_zero -= 1;
+            }
+        }
+
         merged.policy = format!(
             "cluster/{}x/{}/{}",
             self.shards,
@@ -893,6 +1371,11 @@ impl ClusterEngine {
             .iter()
             .map(|(_, j)| cfg.quality.max_job_quality(j))
             .sum();
+        let rejected_max_quality: f64 = dispatch
+            .rejected
+            .iter()
+            .map(|(_, j)| cfg.quality.max_job_quality(j))
+            .sum();
 
         (
             ClusterReport {
@@ -901,7 +1384,11 @@ impl ClusterEngine {
                 shards,
                 jobs_dropped: dispatch.dropped.len() as u64,
                 jobs_retried: dispatch.retried,
+                jobs_rejected: dispatch.rejected.len() as u64,
+                jobs_hedged: dispatch.hedges.len() as u64,
+                hedges_won,
                 dropped_max_quality,
+                rejected_max_quality,
             },
             observers,
         )
@@ -922,6 +1409,12 @@ impl ClusterEngine {
 /// boundary (drain-on-reconfigure: the shard settles in-flight work
 /// when its capacity state changes). With no fault windows this is one
 /// healthy epoch over `[0, end)` — bitwise the fault-free path.
+/// `hedged` lists the job ids duelling across shards: their
+/// `(id, processed, quality)` outcomes are harvested from the per-epoch
+/// detailed stats so the cluster merge can settle first-wins. With an
+/// empty set (every default-path run) nothing is harvested —
+/// [`Simulator::run_observed`] is itself a thin wrapper over the
+/// detailed run, so requesting stats changes no simulation arithmetic.
 #[allow(clippy::too_many_arguments)]
 fn run_shard_epochs<O, F>(
     cfg: &SimConfig<'_>,
@@ -929,10 +1422,11 @@ fn run_shard_epochs<O, F>(
     jobs: &JobSet,
     plan: &FaultPlan,
     redispatched: &[(SimTime, JobId)],
+    hedged: &BTreeSet<u32>,
     make_policy: &F,
     metered: bool,
     obs: &mut O,
-) -> (SimReport, SimTrace)
+) -> (SimReport, SimTrace, Vec<DuelOutcome>)
 where
     O: Observer,
     F: Fn(usize) -> Box<dyn SchedulingPolicy> + Sync + Send,
@@ -943,6 +1437,7 @@ where
     let mut redisp = redispatched.iter().peekable();
     let mut merged: Option<SimReport> = None;
     let mut full_trace = SimTrace::default();
+    let mut duel_outcomes: Vec<DuelOutcome> = Vec::new();
 
     for (k, ep) in epochs.iter().enumerate() {
         let is_final = k + 1 == epochs.len();
@@ -1039,8 +1534,15 @@ where
                 inner: obs,
                 base: ep.start,
             };
-            let (rep, trace) =
-                Simulator::run_observed(&scfg, policy.as_mut(), &local_set, &mut off);
+            let (rep, trace, stats) =
+                Simulator::run_detailed_observed(&scfg, policy.as_mut(), &local_set, &mut off);
+            if !hedged.is_empty() {
+                for o in stats.outcomes() {
+                    if hedged.contains(&o.id.0) {
+                        duel_outcomes.push((o.id.0, o.processed, o.quality));
+                    }
+                }
+            }
             for s in trace.slices() {
                 full_trace.push(TraceSlice {
                     start: ep.start + s.start.saturating_since(SimTime::ZERO),
@@ -1077,7 +1579,7 @@ where
     });
     // Epoch horizons are local; the shard's report spans the full run.
     report.sim_seconds = cfg.end.as_secs_f64();
-    (report, full_trace)
+    (report, full_trace, duel_outcomes)
 }
 
 /// Meter one shard's executed schedule: replay the recorded trace as a
@@ -1462,7 +1964,11 @@ mod tests {
             shards: Vec::new(),
             jobs_dropped: 0,
             jobs_retried: 0,
+            jobs_rejected: 0,
+            jobs_hedged: 0,
+            hedges_won: 0,
             dropped_max_quality: 0.0,
+            rejected_max_quality: 0.0,
         };
         // An empty cluster was never metered.
         assert_eq!(base.measured_energy(), None);
@@ -1497,11 +2003,326 @@ mod tests {
             shards: Vec::new(),
             jobs_dropped: 2,
             jobs_retried: 1,
+            jobs_rejected: 0,
+            jobs_hedged: 0,
+            hedges_won: 0,
             dropped_max_quality: 2.0,
+            rejected_max_quality: 0.0,
         };
         // 6 earned out of (8 simulated + 2 dropped) possible.
         assert!((rep.degraded_quality() - 0.6).abs() < 1e-12);
+        // Rejected mass widens the denominator exactly like dropped
+        // mass: 6 out of (8 + 2 + 2).
+        rep.rejected_max_quality = 2.0;
+        assert!((rep.degraded_quality() - 0.5).abs() < 1e-12);
+        rep.rejected_max_quality = 0.0;
         rep.dropped_max_quality = 0.0;
         assert!((rep.degraded_quality() - rep.merged.normalized_quality()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_quality_is_nan_free_with_no_quality_mass() {
+        // Zero arrivals (or an all-rejected stream with no simulated
+        // mass) must not divide 0/0.
+        let rep = ClusterReport {
+            routing: "round-robin".into(),
+            merged: SimReport::default(),
+            shards: Vec::new(),
+            jobs_dropped: 0,
+            jobs_retried: 0,
+            jobs_rejected: 0,
+            jobs_hedged: 0,
+            hedges_won: 0,
+            dropped_max_quality: 0.0,
+            rejected_max_quality: 0.0,
+        };
+        let q = rep.degraded_quality();
+        assert!(q.is_finite());
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    fn default_overload_policy_is_bitwise_the_faulted_dispatch() {
+        // dispatch_protected under OverloadPolicy::default() must be
+        // the exact dispatch_with_faults pre-pass: same streams, same
+        // assignment, no rejects, no hedges.
+        let jobs = stream(20, 10, 120.0);
+        let horizon = SimTime::from_secs(1);
+        let plan = FaultPlan::none(3).with_window(
+            1,
+            FaultWindow {
+                start: SimTime::from_millis(60),
+                end: SimTime::from_millis(300),
+                kind: FaultKind::Crash,
+            },
+        );
+        let a = dispatch_with_faults(
+            &jobs,
+            3,
+            &RoutingPolicy::Feedback,
+            &PolynomialPower::PAPER_SIM,
+            &plan,
+            horizon,
+        );
+        let b = dispatch_protected(
+            &jobs,
+            3,
+            &RoutingPolicy::Feedback,
+            &PolynomialPower::PAPER_SIM,
+            &ExpQuality::PAPER_DEFAULT,
+            &plan,
+            &OverloadPolicy::default(),
+            horizon,
+        );
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.retried, b.retried);
+        assert_eq!(a.dropped.len(), b.dropped.len());
+        assert!(b.rejected.is_empty());
+        assert!(b.hedges.is_empty());
+        for (sa, sb) in a.shard_jobs.iter().zip(&b.shard_jobs) {
+            assert_eq!(sa.len(), sb.len());
+            for (ja, jb) in sa.iter().zip(sb.iter()) {
+                assert_eq!(ja.id, jb.id);
+                assert_eq!(ja.release, jb.release);
+            }
+        }
+    }
+
+    #[test]
+    fn slack_floor_rejects_hopeless_arrivals_only() {
+        // One 1 GHz shard. The first job fits comfortably (needs
+        // ~0.67 GHz); stacking a 4000-unit job behind it would need
+        // ~27 GHz, so its achievable fraction is hopeless and it is
+        // rejected, not dropped.
+        let jobs = JobSet::new(vec![
+            Job::new(0, SimTime::ZERO, SimTime::from_millis(150), 100.0).unwrap(),
+            Job::new(1, SimTime::ZERO, SimTime::from_millis(150), 4000.0).unwrap(),
+        ])
+        .unwrap();
+        let overload = OverloadPolicy {
+            admission: AdmissionPolicy::SlackFloor {
+                floor: 0.5,
+                capacity_ghz: 1.0,
+            },
+            ..OverloadPolicy::default()
+        };
+        let d = dispatch_protected(
+            &jobs,
+            1,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+            &ExpQuality::PAPER_DEFAULT,
+            &FaultPlan::none(1),
+            &overload,
+            SimTime::from_secs(1),
+        );
+        assert_eq!(d.assignment, vec![0, u32::MAX]);
+        assert_eq!(d.rejected.len(), 1);
+        assert_eq!(d.rejected[0].1.id.0, 1);
+        assert!(d.dropped.is_empty(), "rejection is not a drop");
+        // The reject surfaced as a dispatcher event.
+        assert!(matches!(
+            d.events.as_slice(),
+            [(_, Event::AdmissionReject { job: JobId(1), .. })]
+        ));
+    }
+
+    #[test]
+    fn backpressure_sheds_above_cap_and_resumes_after_drain() {
+        // Cap 250 demand units, resume 100. Two 150-unit jobs fill the
+        // single shard past the cap; the third arrival is shed. After
+        // the windows retire, a late arrival is admitted again.
+        let mk = |id: u32, at_ms: u64| {
+            Job::new(
+                id,
+                SimTime::from_millis(at_ms),
+                SimTime::from_millis(at_ms + 100),
+                150.0,
+            )
+            .unwrap()
+        };
+        let jobs = JobSet::new(vec![mk(0, 0), mk(1, 1), mk(2, 2), mk(3, 500)]).unwrap();
+        let overload = OverloadPolicy {
+            admission: AdmissionPolicy::Backpressure {
+                cap: 250.0,
+                resume: 100.0,
+            },
+            ..OverloadPolicy::default()
+        };
+        let d = dispatch_protected(
+            &jobs,
+            1,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+            &ExpQuality::PAPER_DEFAULT,
+            &FaultPlan::none(1),
+            &overload,
+            SimTime::from_secs(1),
+        );
+        assert_eq!(d.assignment, vec![0, 0, u32::MAX, 0]);
+        assert_eq!(d.rejected.len(), 1);
+        assert_eq!(d.rejected[0].1.id.0, 2);
+    }
+
+    #[test]
+    fn hedging_dispatches_a_twin_to_another_shard() {
+        // Two shards, one job with 100 ms of slack, hedge at 50 %.
+        let jobs = JobSet::new(vec![Job::new(
+            0,
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+            200.0,
+        )
+        .unwrap()])
+        .unwrap();
+        let overload = OverloadPolicy {
+            hedge: HedgePolicy::SlackFraction { fraction: 0.5 },
+            ..OverloadPolicy::default()
+        };
+        let d = dispatch_protected(
+            &jobs,
+            2,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+            &ExpQuality::PAPER_DEFAULT,
+            &FaultPlan::none(2),
+            &overload,
+            SimTime::from_secs(1),
+        );
+        assert_eq!(d.hedges.len(), 1);
+        let h = d.hedges[0];
+        assert_eq!(h.at, SimTime::from_millis(50));
+        assert_eq!(h.from, 0);
+        assert_eq!(h.to, 1);
+        assert!(h.duel, "both copies survive a fault-free run");
+        // The twin keeps the original deadline but releases at the
+        // hedge instant.
+        assert_eq!(d.shard_jobs[1].len(), 1);
+        let twin = d.shard_jobs[1].iter().next().unwrap();
+        assert_eq!(twin.id.0, 0);
+        assert_eq!(twin.release, SimTime::from_millis(50));
+        assert_eq!(twin.deadline, SimTime::from_millis(100));
+        // Conservation with a duel: 1 arrival, 2 stream entries.
+        assert_eq!(
+            d.shard_jobs.iter().map(JobSet::len).sum::<usize>(),
+            jobs.len() + 1
+        );
+    }
+
+    #[test]
+    fn hedge_is_cancelled_when_the_primary_strands_first() {
+        // The primary shard crashes before the hedge instant: the
+        // pending hedge must not fire (the retry path owns the job).
+        let jobs = JobSet::new(vec![Job::new(
+            0,
+            SimTime::ZERO,
+            SimTime::from_millis(200),
+            100.0,
+        )
+        .unwrap()])
+        .unwrap();
+        let plan = FaultPlan::none(2)
+            .with_window(
+                0,
+                FaultWindow {
+                    start: SimTime::from_millis(20),
+                    end: SimTime::from_millis(180),
+                    kind: FaultKind::Crash,
+                },
+            )
+            .with_retry_delay(SimDuration::from_millis(10));
+        let overload = OverloadPolicy {
+            hedge: HedgePolicy::SlackFraction { fraction: 0.5 },
+            ..OverloadPolicy::default()
+        };
+        let d = dispatch_protected(
+            &jobs,
+            2,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+            &ExpQuality::PAPER_DEFAULT,
+            &FaultPlan::none(2),
+            &overload,
+            SimTime::from_secs(1),
+        );
+        // Sanity: fault-free, the hedge fires.
+        assert_eq!(d.hedges.len(), 1);
+        let d2 = dispatch_protected(
+            &jobs,
+            2,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+            &ExpQuality::PAPER_DEFAULT,
+            &plan,
+            &overload,
+            SimTime::from_secs(1),
+        );
+        assert!(d2.hedges.is_empty(), "stranded primary cancels the hedge");
+        assert_eq!(d2.retried, 1);
+        // The retried copy alone survives: plain conservation.
+        assert_eq!(d2.shard_jobs.iter().map(JobSet::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn retry_budget_drops_after_max_attempts() {
+        // Both shards crash in sequence, repeatedly stranding the job.
+        // With a 1-attempt budget the second strand gives up.
+        let job = Job::new(0, SimTime::ZERO, SimTime::from_millis(400), 100.0).unwrap();
+        let jobs = JobSet::new(vec![job]).unwrap();
+        let plan = FaultPlan::none(2)
+            .with_window(
+                0,
+                FaultWindow {
+                    start: SimTime::from_millis(10),
+                    end: SimTime::from_millis(390),
+                    kind: FaultKind::Crash,
+                },
+            )
+            .with_window(
+                1,
+                FaultWindow {
+                    start: SimTime::from_millis(30),
+                    end: SimTime::from_millis(390),
+                    kind: FaultKind::Crash,
+                },
+            )
+            .with_retry_delay(SimDuration::from_millis(10));
+        let budgeted = OverloadPolicy {
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            ..OverloadPolicy::default()
+        };
+        let d = dispatch_protected(
+            &jobs,
+            2,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+            &ExpQuality::PAPER_DEFAULT,
+            &plan,
+            &budgeted,
+            SimTime::from_secs(1),
+        );
+        // Strand on shard 0 at 10 ms -> retry to shard 1 at 20 ms ->
+        // strand again at 30 ms -> budget (1) exhausted -> drop.
+        assert_eq!(d.retried, 1);
+        assert_eq!(d.dropped.len(), 1);
+        assert_eq!(d.redispatches.len(), 2);
+        assert_eq!(d.shard_jobs.iter().map(JobSet::len).sum::<usize>(), 0);
+        // The unbudgeted default keeps retrying instead (second retry
+        // lands at 40 ms, after both crashes started, and both shards
+        // are down -> still dropped, but after two routed retries).
+        let d2 = dispatch_protected(
+            &jobs,
+            2,
+            &RoutingPolicy::RoundRobin,
+            &PolynomialPower::PAPER_SIM,
+            &ExpQuality::PAPER_DEFAULT,
+            &plan,
+            &OverloadPolicy::default(),
+            SimTime::from_secs(1),
+        );
+        assert!(d2.retried >= d.retried);
     }
 }

@@ -145,6 +145,13 @@ impl FaultPlan {
     /// capacity. Shard `i` draws from `split_seed(seed, i)`, so plans
     /// are reproducible per seed and re-seeding one shard leaves the
     /// others' windows untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in release builds too — on invalid parameters:
+    /// `shards == 0`, non-positive (or NaN) mean up/down times, or a
+    /// `crash_fraction` outside `[0, 1]`. Use
+    /// [`FaultPlan::try_seeded`] to validate without panicking.
     pub fn seeded(
         shards: usize,
         horizon: SimTime,
@@ -153,15 +160,46 @@ impl FaultPlan {
         mean_down_secs: f64,
         crash_fraction: f64,
     ) -> Self {
-        assert!(shards > 0, "a cluster needs at least one shard");
-        assert!(
-            mean_up_secs > 0.0 && mean_down_secs > 0.0,
-            "mean up/down times must be positive"
-        );
-        assert!(
-            (0.0..=1.0).contains(&crash_fraction),
-            "crash_fraction must be in [0, 1]"
-        );
+        Self::try_seeded(
+            shards,
+            horizon,
+            seed,
+            mean_up_secs,
+            mean_down_secs,
+            crash_fraction,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`FaultPlan::seeded`] with release-mode parameter validation
+    /// returned as a `Result` instead of a panic — for callers fed by
+    /// config files or CLI flags, where malformed input is an expected
+    /// condition rather than a programming error.
+    pub fn try_seeded(
+        shards: usize,
+        horizon: SimTime,
+        seed: u64,
+        mean_up_secs: f64,
+        mean_down_secs: f64,
+        crash_fraction: f64,
+    ) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("a cluster needs at least one shard".into());
+        }
+        // Compare via `partial_cmp` so NaN fails validation rather
+        // than slipping through an inverted comparison.
+        let positive = |x: f64| x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if !positive(mean_up_secs) || !positive(mean_down_secs) {
+            return Err(format!(
+                "mean up/down times must be positive (got up={mean_up_secs}, \
+                 down={mean_down_secs})"
+            ));
+        }
+        if !(0.0..=1.0).contains(&crash_fraction) {
+            return Err(format!(
+                "crash_fraction must be in [0, 1] (got {crash_fraction})"
+            ));
+        }
         let mut plan = FaultPlan::none(shards);
         for shard in 0..shards {
             let mut rng = StdRng::seed_from_u64(split_seed(seed, shard as u64));
@@ -187,7 +225,7 @@ impl FaultPlan {
                 t = end;
             }
         }
-        plan
+        Ok(plan)
     }
 
     /// Number of shards the plan covers.
@@ -452,5 +490,43 @@ mod tests {
         }
         // Shards draw from split seeds: streams differ.
         assert_ne!(a.windows(0), a.windows(1));
+    }
+
+    #[test]
+    fn try_seeded_validates_in_release_builds_too() {
+        let horizon = s(100);
+        // Valid parameters round-trip through the fallible constructor
+        // and match the panicking one exactly.
+        let ok = FaultPlan::try_seeded(2, horizon, 7, 10.0, 2.0, 0.5).unwrap();
+        let direct = FaultPlan::seeded(2, horizon, 7, 10.0, 2.0, 0.5);
+        assert_eq!(ok.windows(0), direct.windows(0));
+        assert_eq!(ok.windows(1), direct.windows(1));
+
+        // These run identically with and without debug assertions —
+        // the checks are plain release-mode code, not debug_assert!s.
+        assert!(FaultPlan::try_seeded(0, horizon, 7, 10.0, 2.0, 0.5).is_err());
+        let e = FaultPlan::try_seeded(2, horizon, 7, 0.0, 2.0, 0.5).unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+        let e = FaultPlan::try_seeded(2, horizon, 7, -1.0, 2.0, 0.5).unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+        assert!(FaultPlan::try_seeded(2, horizon, 7, 10.0, -2.0, 0.5).is_err());
+        // NaN means must fail, not slip through an inverted compare.
+        assert!(FaultPlan::try_seeded(2, horizon, 7, f64::NAN, 2.0, 0.5).is_err());
+        let e = FaultPlan::try_seeded(2, horizon, 7, 10.0, 2.0, 1.5).unwrap_err();
+        assert!(e.contains("crash_fraction"), "{e}");
+        assert!(FaultPlan::try_seeded(2, horizon, 7, 10.0, 2.0, -0.1).is_err());
+        assert!(FaultPlan::try_seeded(2, horizon, 7, 10.0, 2.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "crash_fraction")]
+    fn seeded_panics_on_out_of_range_crash_fraction() {
+        let _ = FaultPlan::seeded(2, s(10), 7, 10.0, 2.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn seeded_panics_on_non_positive_mean_up() {
+        let _ = FaultPlan::seeded(2, s(10), 7, 0.0, 2.0, 0.5);
     }
 }

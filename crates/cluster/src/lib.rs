@@ -32,8 +32,15 @@
 //! * [`fault`] — deterministic fault injection: seeded per-shard
 //!   crash/brownout windows ([`fault::FaultPlan`]) that the dispatcher
 //!   routes around and the engine simulates as capacity epochs, with
-//!   stranded-job failover (DESIGN.md §10).
+//!   stranded-job failover (DESIGN.md §10);
+//! * [`admission`] — overload protection for the front end:
+//!   deadline-aware admission control, retry budgets with exponential
+//!   backoff and seeded jitter, and deterministic request hedging with
+//!   first-wins accounting (DESIGN.md §11). The default
+//!   [`admission::OverloadPolicy`] is bitwise-identical to running
+//!   without one.
 
+pub mod admission;
 pub mod dispatch;
 pub mod fault;
 pub mod meter;
@@ -42,9 +49,10 @@ pub mod regression;
 pub mod replay;
 pub mod spec;
 
+pub use admission::{AdmissionPolicy, HedgePolicy, OverloadPolicy, RetryPolicy};
 pub use dispatch::{
-    dispatch_with_faults, route, split_jobs, split_seed, ClusterEngine, ClusterReport,
-    DispatchPlan, RoutingPolicy, ShardRun,
+    dispatch_protected, dispatch_with_faults, route, split_jobs, split_seed, ClusterEngine,
+    ClusterReport, DispatchPlan, HedgeRecord, RoutingPolicy, ShardRun,
 };
 pub use fault::{effective_cores, Epoch, FaultKind, FaultPlan, FaultWindow};
 pub use meter::PowerMeter;

@@ -57,6 +57,17 @@ impl ClusterSpec {
         }
     }
 
+    /// Aggregate peak service capacity (GHz): every powered core at the
+    /// table's top speed. This is the natural `capacity_ghz` input for
+    /// the front end's [`AdmissionPolicy::SlackFloor`], pricing a
+    /// shard's achievable completed fraction against the same step-2
+    /// probe the routing policies use.
+    ///
+    /// [`AdmissionPolicy::SlackFloor`]: crate::admission::AdmissionPolicy::SlackFloor
+    pub fn peak_capacity_ghz(&self) -> f64 {
+        self.total_cores() as f64 * self.speed_table.max_speed()
+    }
+
     /// Total power (W) a core draws at `speed` (0 ⇒ idle draw).
     pub fn core_power(&self, speed: f64) -> f64 {
         if speed <= 0.0 {
@@ -87,6 +98,15 @@ mod tests {
         assert_eq!(c.browned_out(0.999).cores_per_node, 1);
         // Zero loss is the identity.
         assert_eq!(c.browned_out(0.0).total_cores(), c.total_cores());
+    }
+
+    #[test]
+    fn peak_capacity_is_cores_times_top_speed() {
+        let c = ClusterSpec::paper_validation();
+        // 16 cores × 2.5 GHz Opteron top speed.
+        assert!((c.peak_capacity_ghz() - 40.0).abs() < 1e-9);
+        // Brownouts shrink capacity with the powered-core count.
+        assert!((c.browned_out(0.5).peak_capacity_ghz() - 20.0).abs() < 1e-9);
     }
 
     #[test]

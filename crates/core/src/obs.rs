@@ -40,6 +40,9 @@
 //! | `shard_down`     | shard index                     | `crash`/`brownout` |
 //! | `shard_up`       | shard index                     |                   |
 //! | `redispatch`     | job id                          | crashed shard     |
+//! | `admission_reject` | job id                        | admission policy  |
+//! | `retry`          | job id                          | attempt number    |
+//! | `hedge`          | job id                          | hedge target shard |
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -234,6 +237,31 @@ pub enum Event {
         /// The shard that crashed under it.
         from: u32,
     },
+    /// The cluster admission controller turned a job away at arrival
+    /// (overload protection; distinct from a fault-path drop).
+    AdmissionReject {
+        /// The rejected job.
+        job: JobId,
+        /// Stable label of the admission policy that rejected it.
+        policy: &'static str,
+    },
+    /// A stranded job was re-released with a retry-budgeted backoff
+    /// delay (attempt numbers start at 1 for the first re-release).
+    Retry {
+        /// The retried job.
+        job: JobId,
+        /// Which retry attempt this re-release is.
+        attempt: u32,
+    },
+    /// A hedge copy of a slow job was dispatched to a second shard
+    /// (first-wins accounting; the losing copy's work is charged to
+    /// energy but not quality).
+    Hedge {
+        /// The hedged job.
+        job: JobId,
+        /// The shard receiving the hedge copy.
+        to: u32,
+    },
 }
 
 impl Event {
@@ -254,6 +282,9 @@ impl Event {
             Event::ShardDown { .. } => "shard_down",
             Event::ShardUp { .. } => "shard_up",
             Event::Redispatch { .. } => "redispatch",
+            Event::AdmissionReject { .. } => "admission_reject",
+            Event::Retry { .. } => "retry",
+            Event::Hedge { .. } => "hedge",
         }
     }
 
@@ -282,6 +313,11 @@ impl Event {
             }
             Event::ShardUp { shard } => format!("{t},shard_up,{shard},"),
             Event::Redispatch { job, from } => format!("{t},redispatch,{},{from}", job.0),
+            Event::AdmissionReject { job, policy } => {
+                format!("{t},admission_reject,{},{policy}", job.0)
+            }
+            Event::Retry { job, attempt } => format!("{t},retry,{},{attempt}", job.0),
+            Event::Hedge { job, to } => format!("{t},hedge,{},{to}", job.0),
         }
     }
 }
@@ -550,6 +586,9 @@ impl Observer for MetricsRegistry {
             }
             Event::ShardUp { .. } => self.inc("cluster.shard.up", 1),
             Event::Redispatch { .. } => self.inc("cluster.redispatch", 1),
+            Event::AdmissionReject { .. } => self.inc("cluster.admission.rejected", 1),
+            Event::Retry { .. } => self.inc("cluster.retry", 1),
+            Event::Hedge { .. } => self.inc("cluster.hedge.dispatched", 1),
         }
     }
 }
@@ -796,6 +835,21 @@ mod tests {
                 from: 1,
             }
             .to_csv_row(SimTime::from_micros(70)),
+            Event::AdmissionReject {
+                job: JobId(11),
+                policy: "slack_floor",
+            }
+            .to_csv_row(SimTime::from_micros(80)),
+            Event::Retry {
+                job: JobId(9),
+                attempt: 2,
+            }
+            .to_csv_row(SimTime::from_micros(90)),
+            Event::Hedge {
+                job: JobId(5),
+                to: 3,
+            }
+            .to_csv_row(SimTime::from_micros(100)),
         ];
         assert_eq!(rows[0], "10,dequeue,plan_end,");
         assert_eq!(rows[1], "20,settle,3,partial");
@@ -804,6 +858,45 @@ mod tests {
         assert_eq!(rows[4], "50,shard_down,1,crash");
         assert_eq!(rows[5], "60,shard_up,1,");
         assert_eq!(rows[6], "70,redispatch,9,1");
+        assert_eq!(rows[7], "80,admission_reject,11,slack_floor");
+        assert_eq!(rows[8], "90,retry,9,2");
+        assert_eq!(rows[9], "100,hedge,5,3");
+    }
+
+    #[test]
+    fn overload_events_fold_into_registry() {
+        let mut reg = MetricsRegistry::new();
+        reg.record(
+            SimTime::ZERO,
+            Event::AdmissionReject {
+                job: JobId(1),
+                policy: "backpressure",
+            },
+        );
+        reg.record(
+            SimTime::from_millis(1),
+            Event::Retry {
+                job: JobId(2),
+                attempt: 1,
+            },
+        );
+        reg.record(
+            SimTime::from_millis(1),
+            Event::Retry {
+                job: JobId(2),
+                attempt: 2,
+            },
+        );
+        reg.record(
+            SimTime::from_millis(2),
+            Event::Hedge {
+                job: JobId(3),
+                to: 1,
+            },
+        );
+        assert_eq!(reg.counter("cluster.admission.rejected"), 1);
+        assert_eq!(reg.counter("cluster.retry"), 2);
+        assert_eq!(reg.counter("cluster.hedge.dispatched"), 1);
     }
 
     #[test]

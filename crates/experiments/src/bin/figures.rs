@@ -13,14 +13,15 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use qes_experiments::figures::{
-    ablation, cluster, cluster_faults, competitive, demand_dist, diurnal, fig01, fig02, fig03,
-    fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, tail, triggers, FigOptions,
+    ablation, cluster, cluster_faults, cluster_overload, competitive, demand_dist, diurnal, fig01,
+    fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, tail, triggers,
+    FigOptions,
 };
 use qes_experiments::report::FigureReport;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: figures <fig01..fig11|ablation|cluster|cluster_faults|diurnal|tail|competitive|triggers|demand_dist|all> [--full] [--seed N] [--out DIR]\n\
+        "usage: figures <fig01..fig11|ablation|cluster|cluster_faults|cluster_overload|diurnal|tail|competitive|triggers|demand_dist|all> [--full] [--seed N] [--out DIR]\n\
          \n\
          --full    paper-scale runs (1800 s horizon; pair with --release)\n\
          --seed N  workload seed (default 42)\n\
@@ -72,6 +73,7 @@ fn main() -> ExitCode {
         "ablation",
         "cluster",
         "cluster_faults",
+        "cluster_overload",
         "diurnal",
         "tail",
         "competitive",
@@ -103,6 +105,7 @@ fn main() -> ExitCode {
             "ablation" => ablation::run(&opt),
             "cluster" => cluster::run(&opt),
             "cluster_faults" => cluster_faults::run(&opt),
+            "cluster_overload" => cluster_overload::run(&opt),
             "diurnal" => diurnal::run(&opt),
             "tail" => tail::run(&opt),
             "competitive" => competitive::run(&opt),

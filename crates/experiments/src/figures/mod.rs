@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod cluster;
 pub mod cluster_faults;
+pub mod cluster_overload;
 pub mod common;
 pub mod competitive;
 pub mod demand_dist;

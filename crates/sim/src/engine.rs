@@ -130,7 +130,11 @@ const ARRIVAL_PRIO: u8 = 1;
 const REL_EPS: f64 = 1e-4;
 
 /// Whether `processed` volume satisfies `demand` under [`REL_EPS`].
-pub(crate) fn demand_met(processed: f64, demand: f64) -> bool {
+///
+/// Public so downstream consumers of [`JobOutcome`](crate::JobOutcome)
+/// records (e.g. the cluster front end's hedging merge) can classify an
+/// outcome exactly as `settle` did, instead of re-deriving the tolerance.
+pub fn demand_met(processed: f64, demand: f64) -> bool {
     demand <= 1e-12 || processed >= demand * (1.0 - REL_EPS)
 }
 

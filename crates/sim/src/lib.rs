@@ -29,7 +29,7 @@ pub mod stats;
 pub mod trace;
 pub mod validate;
 
-pub use engine::{SimConfig, Simulator};
+pub use engine::{demand_met, SimConfig, Simulator};
 pub use qes_multicore::TriggerRequest as TriggerConfig;
 pub use report::{SimCounters, SimReport};
 pub use stats::{DetailedStats, JobOutcome};

@@ -37,8 +37,8 @@
 //!   surviving shards (`jobs_retried`).
 
 use qes::cluster::{
-    dispatch_with_faults, route, split_seed, ClusterEngine, FaultKind, FaultPlan, FaultWindow,
-    PowerMeter, RoutingPolicy,
+    dispatch_with_faults, route, split_seed, AdmissionPolicy, ClusterEngine, FaultKind, FaultPlan,
+    FaultWindow, HedgePolicy, OverloadPolicy, PowerMeter, RetryPolicy, RoutingPolicy,
 };
 use qes::core::{Event, ExpQuality, Job, JobSet, PolynomialPower, SimDuration, SimTime};
 use qes::multicore::differential::{DifferentialConfig, TriggerMode};
@@ -512,6 +512,375 @@ fn traced_faulted_run_is_bitwise_identical_and_emits_fault_events() {
             last = t;
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Overload-protection layer (DESIGN.md §11). Test names carry the
+// `overload` prefix so CI can run the suite with a single filter.
+// ---------------------------------------------------------------------
+
+#[test]
+fn overload_default_policy_is_bitwise_identical_across_matrix() {
+    // The degenerate OverloadPolicy (accept all, unbudgeted fixed-delay
+    // retries, no hedging) must reproduce the pre-overload cluster path
+    // to the bit — ⟨quality, energy, max-quality⟩ and every counter —
+    // across {routing} × {no faults, crashy plan}.
+    let (jobs, end) = workload();
+    let quality = ExpQuality::new(0.003);
+    let cfg = sim_cfg(&quality, end);
+    for plan in [FaultPlan::none(4), crashy_plan()] {
+        for routing in routing_matrix() {
+            let plain = ClusterEngine::new(4)
+                .with_routing(routing.clone())
+                .with_fault_plan(plan.clone())
+                .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()));
+            let protected = ClusterEngine::new(4)
+                .with_routing(routing.clone())
+                .with_fault_plan(plan.clone())
+                .with_overload(OverloadPolicy::default())
+                .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()));
+            let ctx = format!(
+                "{}/{}",
+                routing.label(),
+                if plan.has_faults() {
+                    "faulted"
+                } else {
+                    "clean"
+                }
+            );
+            assert_reports_bitwise(&plain.merged, &protected.merged, &ctx);
+            for (a, b) in plain.shards.iter().zip(protected.shards.iter()) {
+                assert_reports_bitwise(&a.report, &b.report, &format!("{ctx}/shard {}", a.shard));
+            }
+            assert_eq!(plain.jobs_dropped, protected.jobs_dropped, "{ctx}");
+            assert_eq!(plain.jobs_retried, protected.jobs_retried, "{ctx}");
+            assert_eq!(
+                plain.dropped_max_quality.to_bits(),
+                protected.dropped_max_quality.to_bits(),
+                "{ctx}"
+            );
+            // The new classes stay structurally empty.
+            assert_eq!(protected.jobs_rejected, 0, "{ctx}");
+            assert_eq!(protected.jobs_hedged, 0, "{ctx}");
+            assert_eq!(protected.hedges_won, 0, "{ctx}");
+            assert_eq!(protected.rejected_max_quality, 0.0, "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn overload_active_run_is_bitwise_reproducible_across_lane_counts() {
+    // All three mechanisms live (slack-floor admission, budgeted
+    // exponential backoff with seeded jitter, hedging) under a seeded
+    // fault plan: 1 lane vs 4 lanes and repeat runs must agree to the
+    // bit, counters included.
+    let (jobs, end) = diurnal_workload();
+    let quality = ExpQuality::new(0.003);
+    let cfg = sim_cfg(&quality, end);
+    let plan = FaultPlan::seeded(4, SimTime::from_secs(end), 99, 3.0, 1.0, 0.5);
+    let overload = OverloadPolicy {
+        admission: AdmissionPolicy::SlackFloor {
+            floor: 0.05,
+            capacity_ghz: CORES as f64 * 2.5,
+        },
+        retry: RetryPolicy::exponential(3, SimDuration::from_millis(5)).with_jitter(0.25, 17),
+        hedge: HedgePolicy::SlackFraction { fraction: 0.5 },
+    };
+    let run_with = |threads: usize| {
+        rayon::with_threads(threads, || {
+            ClusterEngine::new(4)
+                .with_routing(RoutingPolicy::Feedback)
+                .with_fault_plan(plan.clone())
+                .with_overload(overload.clone())
+                .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()))
+        })
+    };
+    let lane1 = run_with(1);
+    let lane4 = run_with(4);
+    assert_reports_bitwise(&lane1.merged, &lane4.merged, "merged");
+    for (a, b) in lane1.shards.iter().zip(lane4.shards.iter()) {
+        assert_reports_bitwise(&a.report, &b.report, &format!("shard {}", a.shard));
+    }
+    {
+        let (a, b) = (&lane1, &lane4);
+        assert_eq!(a.jobs_dropped, b.jobs_dropped);
+        assert_eq!(a.jobs_retried, b.jobs_retried);
+        assert_eq!(a.jobs_rejected, b.jobs_rejected);
+        assert_eq!(a.jobs_hedged, b.jobs_hedged);
+        assert_eq!(a.hedges_won, b.hedges_won);
+        assert_eq!(
+            a.rejected_max_quality.to_bits(),
+            b.rejected_max_quality.to_bits()
+        );
+        assert_eq!(
+            a.dropped_max_quality.to_bits(),
+            b.dropped_max_quality.to_bits()
+        );
+    }
+    // Run-to-run reproducibility at the same lane count.
+    let again = run_with(4);
+    assert_reports_bitwise(&lane4.merged, &again.merged, "repeat");
+    assert_eq!(lane4.jobs_rejected, again.jobs_rejected);
+    assert_eq!(lane4.jobs_hedged, again.jobs_hedged);
+    assert_eq!(lane4.hedges_won, again.hedges_won);
+    // Conservation with every mechanism live: delivered + dropped +
+    // rejected = arrivals (hedge duels settle first-wins, so they never
+    // double-count).
+    assert_eq!(
+        lane4.merged.jobs_total() as u64 + lane4.jobs_dropped + lane4.jobs_rejected,
+        jobs.len() as u64
+    );
+}
+
+#[test]
+fn overload_hedging_settles_duels_first_wins_and_conserves() {
+    let (jobs, end) = diurnal_workload();
+    let quality = ExpQuality::new(0.003);
+    let cfg = sim_cfg(&quality, end);
+    let plain = ClusterEngine::new(4)
+        .with_routing(RoutingPolicy::Jsq)
+        .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()));
+    let hedged = ClusterEngine::new(4)
+        .with_routing(RoutingPolicy::Jsq)
+        .with_hedging(HedgePolicy::SlackFraction { fraction: 0.25 })
+        .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()));
+
+    assert!(hedged.jobs_hedged > 0, "no hedge fired on a loaded run");
+    assert!(hedged.hedges_won <= hedged.jobs_hedged);
+    // First-wins dedup: every arrival is delivered exactly once even
+    // though duelling copies were simulated twice.
+    assert_eq!(plain.merged.jobs_total(), jobs.len());
+    assert_eq!(hedged.merged.jobs_total(), jobs.len());
+    // The loser copies' work is real: hedging can only add energy.
+    assert!(
+        hedged.merged.energy_joules >= plain.merged.energy_joules,
+        "hedging lowered energy: {} < {}",
+        hedged.merged.energy_joules,
+        plain.merged.energy_joules
+    );
+    // The delivered job population is identical, so the max-quality
+    // mass must agree up to summation order.
+    let rel = (hedged.merged.max_quality - plain.merged.max_quality).abs()
+        / plain.merged.max_quality.max(1.0);
+    assert!(rel < 1e-9, "max-quality mass drifted by {rel}");
+    let dq = hedged.degraded_quality();
+    assert!((0.0..=1.0).contains(&dq), "degraded quality {dq}");
+}
+
+#[test]
+fn overload_admission_rejection_is_a_class_distinct_from_drops() {
+    let (jobs, end) = diurnal_workload();
+    let quality = ExpQuality::new(0.003);
+    let cfg = sim_cfg(&quality, end);
+    let rep = ClusterEngine::new(4)
+        .with_routing(RoutingPolicy::Feedback)
+        .with_admission(AdmissionPolicy::Backpressure {
+            cap: 300.0,
+            resume: 150.0,
+        })
+        .run(&cfg, &jobs, |_| Box::new(DesPolicy::new()));
+    assert!(rep.jobs_rejected > 0, "backpressure never tripped");
+    assert_eq!(rep.jobs_dropped, 0, "rejects must not masquerade as drops");
+    assert_eq!(
+        rep.merged.jobs_total() as u64 + rep.jobs_rejected,
+        jobs.len() as u64,
+        "conservation with rejection"
+    );
+    assert!(rep.rejected_max_quality > 0.0);
+    // Rejection widens the degraded-quality denominator; it can never
+    // *raise* the delivered-quality ratio above the simulated one.
+    assert!(rep.degraded_quality() <= rep.merged.normalized_quality());
+    assert!(rep.degraded_quality().is_finite());
+}
+
+#[test]
+fn overload_zero_arrival_run_has_nan_free_degraded_quality() {
+    // Regression for the zero-arrival guard: an empty stream must
+    // produce a clean report (degraded quality 1.0, not 0/0 = NaN) on
+    // both the plain and the admission-screened paths.
+    let quality = ExpQuality::new(0.003);
+    let cfg = sim_cfg(&quality, 2);
+    let jobs = JobSet::new(Vec::new()).unwrap();
+    for engine in [
+        ClusterEngine::new(3),
+        ClusterEngine::new(3).with_admission(AdmissionPolicy::Backpressure {
+            cap: 1.0,
+            resume: 0.5,
+        }),
+    ] {
+        let rep = engine.run(&cfg, &jobs, |_| Box::new(DesPolicy::new()));
+        assert_eq!(rep.merged.jobs_total(), 0);
+        let dq = rep.degraded_quality();
+        assert!(dq.is_finite(), "degraded quality must be NaN-free");
+        assert_eq!(dq, 1.0);
+        assert_eq!(rep.jobs_rejected, 0);
+    }
+}
+
+#[test]
+fn overload_retry_on_crash_boundary_respects_tie_order() {
+    // Retry re-releases landing exactly on crash boundaries, end to
+    // end: shard 0's crash ends at exactly 45 ms and shard 1's crash
+    // *starts* at exactly 45 ms — the instant job 0's retry fires.
+    // Half-open windows make shard 0 eligible again and shard 1
+    // ineligible at that instant, and the crash event processes before
+    // the simultaneous retry (tie order crash → retry), stranding
+    // shard 1's job before the retry routes.
+    let jobs = JobSet::new(vec![
+        Job::new(0, SimTime::ZERO, SimTime::from_millis(150), 100.0).unwrap(),
+        Job::new(1, SimTime::from_millis(5), SimTime::from_millis(155), 100.0).unwrap(),
+    ])
+    .unwrap();
+    let plan = FaultPlan::none(2)
+        .with_window(
+            0,
+            FaultWindow {
+                start: SimTime::from_millis(40),
+                end: SimTime::from_millis(45),
+                kind: FaultKind::Crash,
+            },
+        )
+        .with_window(
+            1,
+            FaultWindow {
+                start: SimTime::from_millis(45),
+                end: SimTime::from_millis(70),
+                kind: FaultKind::Crash,
+            },
+        )
+        .with_retry_delay(SimDuration::from_millis(5));
+    let d = dispatch_with_faults(
+        &jobs,
+        2,
+        &RoutingPolicy::RoundRobin,
+        &MODEL,
+        &plan,
+        SimTime::from_secs(1),
+    );
+    // Round-robin: job 0 -> shard 0, job 1 -> shard 1. Both strand.
+    assert_eq!(d.assignment, vec![0, 1]);
+    assert_eq!(d.redispatches.len(), 2);
+    assert_eq!(d.retried, 2);
+    assert!(d.dropped.is_empty());
+    // Job 0's retry fires at exactly 45 ms: shard 1 just crashed
+    // (ineligible at its half-open start), shard 0 just recovered
+    // (eligible at its half-open end) -> shard 0 gets it back.
+    let s0: Vec<_> = d.shard_jobs[0].iter().collect();
+    assert!(
+        s0.iter()
+            .any(|j| j.id.0 == 0 && j.release == SimTime::from_millis(45)),
+        "job 0's retry must land on shard 0 at the exact boundary"
+    );
+    // Job 1 stranded at 45 ms retries at 50 ms; shard 1 is still down,
+    // so it fails over to shard 0 too.
+    assert!(
+        s0.iter()
+            .any(|j| j.id.0 == 1 && j.release == SimTime::from_millis(50)),
+        "job 1's retry must fail over to shard 0"
+    );
+    assert_eq!(d.shard_jobs[1].len(), 0);
+}
+
+#[test]
+fn overload_retry_exactly_on_horizon_is_kept_one_past_is_dropped() {
+    // A re-release landing exactly *on* the horizon is still routed
+    // (the engine screens it like any at-horizon arrival); one
+    // microsecond past the horizon it is dropped.
+    let jobs = JobSet::new(vec![Job::new(
+        0,
+        SimTime::ZERO,
+        SimTime::from_millis(150),
+        100.0,
+    )
+    .unwrap()])
+    .unwrap();
+    let mk_plan = || {
+        FaultPlan::none(2)
+            .with_window(
+                0,
+                FaultWindow {
+                    start: SimTime::from_millis(40),
+                    end: SimTime::from_millis(60),
+                    kind: FaultKind::Crash,
+                },
+            )
+            .with_retry_delay(SimDuration::from_millis(10))
+    };
+    // Horizon exactly at the 50 ms re-release: kept.
+    let kept = dispatch_with_faults(
+        &jobs,
+        2,
+        &RoutingPolicy::RoundRobin,
+        &MODEL,
+        &mk_plan(),
+        SimTime::from_millis(50),
+    );
+    assert_eq!(kept.retried, 1);
+    assert!(kept.dropped.is_empty());
+    assert!(kept.shard_jobs[1]
+        .iter()
+        .any(|j| j.id.0 == 0 && j.release == SimTime::from_millis(50)));
+    // Horizon one microsecond earlier: the same re-release overshoots
+    // and the job is dropped instead.
+    let dropped = dispatch_with_faults(
+        &jobs,
+        2,
+        &RoutingPolicy::RoundRobin,
+        &MODEL,
+        &mk_plan(),
+        SimTime::from_millis(50) - SimDuration::from_micros(1),
+    );
+    assert_eq!(dropped.retried, 0);
+    assert_eq!(dropped.dropped.len(), 1);
+    assert_eq!(dropped.shard_jobs.iter().map(|s| s.len()).sum::<usize>(), 0);
+}
+
+#[test]
+fn overload_retry_tying_with_an_arrival_processes_the_arrival_first() {
+    // Tie order arrival → retry, observed through the round-robin
+    // cursor: at 20 ms an original arrival and job 0's retry fire
+    // simultaneously. The arrival must consume the cursor first
+    // (landing on shard 0), pushing the retry to shard 1. If the order
+    // flipped, the assignments would swap.
+    let jobs = JobSet::new(vec![
+        Job::new(0, SimTime::ZERO, SimTime::from_millis(150), 100.0).unwrap(),
+        Job::new(1, SimTime::ZERO, SimTime::from_millis(150), 100.0).unwrap(),
+        Job::new(2, SimTime::ZERO, SimTime::from_millis(150), 100.0).unwrap(),
+        Job::new(
+            3,
+            SimTime::from_millis(20),
+            SimTime::from_millis(170),
+            100.0,
+        )
+        .unwrap(),
+    ])
+    .unwrap();
+    let plan = FaultPlan::none(3)
+        .with_window(
+            0,
+            FaultWindow {
+                start: SimTime::from_millis(10),
+                end: SimTime::from_millis(15),
+                kind: FaultKind::Crash,
+            },
+        )
+        .with_retry_delay(SimDuration::from_millis(10));
+    let d = dispatch_with_faults(
+        &jobs,
+        3,
+        &RoutingPolicy::RoundRobin,
+        &MODEL,
+        &plan,
+        SimTime::from_secs(1),
+    );
+    // Originals cycle 0,1,2; the crash at 10 ms strands only job 0.
+    // At 20 ms: arrival of job 3 takes the cursor (shard 0, healthy
+    // again), then job 0's retry takes shard 1.
+    assert_eq!(d.assignment, vec![0, 1, 2, 0]);
+    assert_eq!(d.retried, 1);
+    assert!(d.shard_jobs[1]
+        .iter()
+        .any(|j| j.id.0 == 0 && j.release == SimTime::from_millis(20)));
 }
 
 #[test]
